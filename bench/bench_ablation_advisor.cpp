@@ -1,0 +1,58 @@
+// Ablation B: where the copy-vs-proxy crossover falls (paper §3.1's
+// heuristic). Prints the advised strategy over a grid of access
+// fractions and link latencies for a 100 MB file, plus the predicted
+// costs along the crossover.
+//
+//   ./bench_ablation_advisor
+#include <cstdio>
+
+#include "src/remote/advisor.h"
+
+using namespace griddles;
+
+int main() {
+  constexpr std::uint64_t kFileSize = 100u << 20;
+  const double fractions[] = {0.001, 0.005, 0.01, 0.05, 0.1,
+                              0.25,  0.5,   0.75, 1.0};
+  const double latencies_ms[] = {0.2, 1, 5, 20, 90, 165, 330};
+  const double bandwidth = 1e6;  // 1 MB/s WAN
+
+  std::printf(
+      "\n=== Ablation B: copy-vs-proxy advisor crossover ===\n"
+      "(100 MB remote file, 1 MB/s link; C = stage whole copy, "
+      "p = proxy block access)\n\n");
+  std::printf("%-14s", "access\\lat");
+  for (const double lat : latencies_ms) std::printf("%7.1fms", lat);
+  std::printf("\n");
+  for (const double fraction : fractions) {
+    std::printf("%-14.3f", fraction);
+    for (const double lat : latencies_ms) {
+      const nws::LinkEstimate link{lat / 1000.0, bandwidth};
+      const remote::Advice advice =
+          remote::advise(kFileSize, fraction, link);
+      std::printf("%9s",
+                  advice.strategy == remote::RemoteStrategy::kCopy ? "C"
+                                                                   : "p");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nCosts along the 90 ms row (seconds):\n");
+  std::printf("%-10s %12s %12s %s\n", "fraction", "copy", "proxy",
+              "advice");
+  for (const double fraction : fractions) {
+    const nws::LinkEstimate link{0.09, bandwidth};
+    const remote::Advice advice = remote::advise(kFileSize, fraction, link);
+    std::printf("%-10.3f %12.1f %12.1f %s\n", fraction,
+                advice.copy_cost_seconds, advice.proxy_cost_seconds,
+                advice.strategy == remote::RemoteStrategy::kCopy
+                    ? "copy"
+                    : "proxy");
+  }
+  std::printf(
+      "\n(Paper: \"if an application reads a small fraction of the "
+      "remote file, it may not warrant copying it\"; \"if a file is "
+      "small and the latency ... high, then it is more efficient to "
+      "copy\".)\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation A: the Web-Services envelope tax.
+//
+// The paper implemented the Grid Buffer service over SOAP "leveraging the
+// enormous effort in Web Services" and noting firewall traversal (§4).
+// This bench quantifies what that choice costs on the wire: frame
+// encode/decode and full RPC round trips under binary vs SOAP framing.
+#include <benchmark/benchmark.h>
+
+#include "src/common/clock.h"
+#include "src/net/inproc.h"
+#include "src/net/rpc.h"
+
+namespace {
+
+using namespace griddles;
+
+void BM_FrameEncode(benchmark::State& state) {
+  const auto format = static_cast<net::WireFormat>(state.range(0));
+  const std::size_t payload = static_cast<std::size_t>(state.range(1));
+  net::RpcFrame frame;
+  frame.kind = net::FrameKind::kRequest;
+  frame.id = 7;
+  frame.method = 2;
+  frame.payload = Bytes(payload, std::byte{0x42});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::encode_frame(frame, format));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload));
+  state.SetLabel(format == net::WireFormat::kBinary ? "binary" : "soap");
+}
+BENCHMARK(BM_FrameEncode)
+    ->Args({0, 4096})
+    ->Args({1, 4096})
+    ->Args({0, 65536})
+    ->Args({1, 65536});
+
+void BM_FrameDecode(benchmark::State& state) {
+  const auto format = static_cast<net::WireFormat>(state.range(0));
+  const std::size_t payload = static_cast<std::size_t>(state.range(1));
+  net::RpcFrame frame;
+  frame.payload = Bytes(payload, std::byte{0x42});
+  const Bytes wire = net::encode_frame(frame, format);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::decode_frame(wire, format));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload));
+  state.SetLabel(format == net::WireFormat::kBinary ? "binary" : "soap");
+}
+BENCHMARK(BM_FrameDecode)
+    ->Args({0, 4096})
+    ->Args({1, 4096})
+    ->Args({0, 65536})
+    ->Args({1, 65536});
+
+struct RpcEnv {
+  RpcEnv(net::WireFormat format)
+      : network(clock), server_transport(network.transport("dione")),
+        client_transport(network.transport("jagan")),
+        server(*server_transport, net::inproc_endpoint("dione", "svc"),
+               format),
+        client(*client_transport, net::inproc_endpoint("dione", "svc"),
+               format) {
+    server.register_method(
+        1, [](ByteSpan request, const net::RpcContext&) -> Result<Bytes> {
+          return Bytes(request.begin(), request.end());
+        });
+    (void)server.start();
+  }
+  RealClock clock;
+  net::InProcNetwork network;
+  std::unique_ptr<net::Transport> server_transport;
+  std::unique_ptr<net::Transport> client_transport;
+  net::RpcServer server;
+  net::RpcClient client;
+};
+
+void BM_RpcRoundTrip(benchmark::State& state) {
+  const auto format = static_cast<net::WireFormat>(state.range(0));
+  const std::size_t payload = static_cast<std::size_t>(state.range(1));
+  RpcEnv env(format);
+  const Bytes request(payload, std::byte{0x17});
+  for (auto _ : state) {
+    auto reply = env.client.call(1, request);
+    if (!reply.is_ok()) state.SkipWithError("rpc failed");
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload));
+  state.SetLabel(format == net::WireFormat::kBinary ? "binary" : "soap");
+}
+BENCHMARK(BM_RpcRoundTrip)
+    ->Args({0, 4096})
+    ->Args({1, 4096})
+    ->Args({0, 65536})
+    ->Args({1, 65536});
+
+}  // namespace

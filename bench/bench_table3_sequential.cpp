@@ -1,0 +1,65 @@
+// Table 3 reproduction: the climate pipeline (C-CAM -> cc2lam -> DARLAM)
+// run *sequentially* with conventional local files on each of the five
+// machines, reporting per-model wall times.
+//
+//   ./bench_table3_sequential [--fast|--exact|--scale=N]
+#include "bench/table_common.h"
+
+using namespace griddles;
+using namespace griddles::bench;
+
+namespace {
+struct PaperRow {
+  const char* machine;
+  double ccam_s, cc2lam_s, darlam_s, total_s;
+};
+// Table 3, converted to seconds.
+constexpr PaperRow kPaper[] = {
+    {"dione", 1701, 8, 796, 2505},    {"brecca", 994, 8, 466, 1464},
+    {"freak", 1831, 30, 818, 2679},   {"bouscat", 4049, 12, 1912, 5973},
+    {"vpac27", 3922, 11, 1860, 5793},
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  const TableConfig config = TableConfig::from_args(argc, argv);
+  print_header("Table 3", "sequential climate runs per machine");
+  std::printf("%-9s | %-27s | %-27s | %s\n", "machine",
+              "paper  (ccam/cc2lam/darlam)", "measured (same)",
+              "predicted total");
+  std::printf("%.96s\n",
+              "-----------------------------------------------------------"
+              "---------------------------------------");
+
+  bool all_ok = true;
+  for (const PaperRow& row : kPaper) {
+    auto result = run_experiment(
+        std::string("t3-") + row.machine, apps::climate_pipeline,
+        {row.machine}, workflow::CouplingMode::kSequentialFiles, config);
+    if (!result.is_ok()) {
+      std::fprintf(stderr, "%s: %s\n", row.machine,
+                   result.status().to_string().c_str());
+      all_ok = false;
+      continue;
+    }
+    const auto* ccam = result->measured.task("ccam");
+    const auto* cc2lam = result->measured.task("cc2lam");
+    const auto* darlam = result->measured.task("darlam");
+    std::printf("%-9s | %8s %8s %8s | %8s %8s %8s | %8s\n", row.machine,
+                hms(row.ccam_s).c_str(), hms(row.cc2lam_s).c_str(),
+                hms(row.total_s).c_str(), hms(ccam->finished_s).c_str(),
+                hms(cc2lam->finished_s).c_str(),
+                hms(darlam->finished_s).c_str(),
+                hms(result->predicted.total_seconds).c_str());
+    // Shape check: measured within 25% of the paper total.
+    const double ratio = result->measured.total_seconds / row.total_s;
+    if (ratio < 0.75 || ratio > 1.25) {
+      std::printf("          ^ WARNING: total off paper by %.0f%%\n",
+                  (ratio - 1) * 100);
+    }
+  }
+  std::printf(
+      "\n(The cc2lam column is cumulative, as in the paper; 'measured' "
+      "shows ccam / cc2lam / darlam completion.)\n");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// The paper's §5.3 atmospheric-sciences case study: C-CAM streamed into
+// DARLAM through cc2lam over Grid Buffers (paper Figure 6), with DARLAM
+// re-reading part of its input — served transparently from the buffer's
+// cache file after the hash table dropped it.
+//
+// Demonstrates, on one run:
+//   * three "legacy Fortran" models coupled with zero source changes,
+//   * writer/reader overlap across two machines (brecca -> vpac27),
+//   * the cache-file re-read path,
+//   * per-stage completion times vs the analytic prediction.
+//
+//   ./build/examples/climate_coupling
+#include <cstdio>
+
+#include "src/apps/paper_apps.h"
+#include "src/common/tempfile.h"
+#include "src/desim/predict.h"
+#include "src/workflow/runner.h"
+
+using namespace griddles;
+
+int main() {
+  auto scratch = TempDir::create("climate");
+  if (!scratch.is_ok()) return 1;
+  // 1 model second = 1 wall ms; 1/64-scale files.
+  testbed::TestbedRuntime testbed(0.001, scratch->path().string(), 64.0);
+  workflow::WorkflowRunner runner(testbed);
+
+  // C-CAM and cc2lam on brecca (VPAC Xeon), DARLAM on vpac27 — one of
+  // the Table 5 pairings. cc2lam's output streams across the Melbourne
+  // metro link.
+  auto pipeline = apps::climate_pipeline(64.0);
+  auto spec = workflow::WorkflowSpec::from_pipeline(
+      "climate", pipeline, {"brecca", "brecca", "vpac27"});
+  if (!spec.is_ok()) return 1;
+
+  workflow::WorkflowRunner::Options options;
+  options.mode = workflow::CouplingMode::kGridBuffers;
+  options.buffer_cache = true;  // DARLAM's re-read needs the cache file
+
+  std::printf("Coupling C-CAM -> cc2lam -> DARLAM with Grid Buffers...\n");
+  auto report = runner.run(*spec, options);
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 report.status().to_string().c_str());
+    return 1;
+  }
+
+  auto paper_spec = workflow::WorkflowSpec::from_pipeline(
+      "climate", apps::climate_pipeline(1.0), {"brecca", "brecca",
+                                               "vpac27"});
+  workflow::WorkflowRunner::Options predict_options = options;
+  predict_options.buffer_block = 4096;
+  auto prediction = desim::predict(*paper_spec, predict_options);
+
+  std::printf("\n%-10s %-9s %14s %14s\n", "model", "machine",
+              "measured (s)", "predicted (s)");
+  for (const auto& task : report->tasks) {
+    const double predicted =
+        prediction.is_ok() ? prediction->task_finish_s[task.name] : 0;
+    std::printf("%-10s %-9s %14.0f %14.0f\n", task.name.c_str(),
+                task.machine.c_str(), task.finished_s, predicted);
+  }
+
+  const auto* ccam = report->task("ccam");
+  const auto* darlam = report->task("darlam");
+  const bool overlapped = darlam->started_s < ccam->finished_s;
+  std::printf(
+      "\nDARLAM started %.0f s into C-CAM's %.0f s run: the models %s.\n",
+      darlam->started_s, ccam->finished_s,
+      overlapped ? "genuinely overlapped" : "did NOT overlap (??)");
+  std::printf(
+      "DARLAM re-read %.0f MB of its streamed input from the Grid "
+      "Buffer's cache file after the hash table had dropped it.\n",
+      static_cast<double>(pipeline[2].reread_bytes) / 1e6 * 64.0 / 64.0);
+  return overlapped ? 0 : 1;
+}

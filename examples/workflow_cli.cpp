@@ -1,0 +1,227 @@
+// griddles-run: compose and run a Grid workflow from a config file —
+// the "tools ... for specifying and composing a new Grid application"
+// the paper's conclusion calls for.
+//
+// Usage:
+//   ./build/examples/workflow_cli <workflow.ini>
+//   ./build/examples/workflow_cli --demo      (writes & runs an example)
+//
+// Config format:
+//   [workflow]
+//   name = demo
+//   mode = grid-buffers        ; sequential-files|concurrent-files|...
+//   scale = 800                ; model seconds per wall second
+//   byte_scale = 64            ; shrink real files, keep model times
+//   schedule = auto            ; optional: pick machines automatically
+//
+//   [task:ccam]
+//   machine = brecca
+//   work = 2800
+//   timesteps = 240
+//   outputs = CCAM_OUT.DAT:180000000
+//
+//   [task:darlam]
+//   machine = vpac27
+//   work = 1310
+//   inputs = CCAM_OUT.DAT:180000000
+//   outputs = OUT.DAT:60000000
+//   reread = 30000000
+#include <cstdio>
+#include <fstream>
+
+#include "src/common/strings.h"
+#include "src/common/tempfile.h"
+#include "src/desim/predict.h"
+#include "src/sched/scheduler.h"
+#include "src/workflow/runner.h"
+
+using namespace griddles;
+
+namespace {
+
+Result<std::vector<apps::StreamSpec>> parse_streams(
+    const std::string& text) {
+  std::vector<apps::StreamSpec> streams;
+  if (strings::trim(text).empty()) return streams;
+  for (const std::string& token : strings::split(text, ',')) {
+    const auto parts = strings::split(std::string(strings::trim(token)),
+                                      ':');
+    if (parts.size() != 2) {
+      return invalid_argument(
+          strings::cat("stream '", token, "' is not path:bytes"));
+    }
+    const auto bytes = strings::parse_int(parts[1]);
+    if (!bytes || *bytes < 0) {
+      return invalid_argument(
+          strings::cat("bad byte count in '", token, "'"));
+    }
+    streams.push_back(
+        {parts[0], static_cast<std::uint64_t>(*bytes)});
+  }
+  return streams;
+}
+
+Result<workflow::CouplingMode> parse_mode(const std::string& name) {
+  if (name == "sequential-files") {
+    return workflow::CouplingMode::kSequentialFiles;
+  }
+  if (name == "concurrent-files") {
+    return workflow::CouplingMode::kConcurrentFiles;
+  }
+  if (name == "grid-buffers") return workflow::CouplingMode::kGridBuffers;
+  return invalid_argument(strings::cat("unknown mode '", name, "'"));
+}
+
+Result<int> run_from_config(const Config& config) {
+  GL_ASSIGN_OR_RETURN(const std::string name,
+                      config.get_required("workflow.name"));
+  GL_ASSIGN_OR_RETURN(
+      const workflow::CouplingMode mode,
+      parse_mode(config.get_or("workflow.mode", "grid-buffers")));
+  const double scale = config.get_double_or("workflow.scale", 800);
+  const double byte_scale =
+      config.get_double_or("workflow.byte_scale", 64);
+  const bool auto_schedule =
+      config.get_or("workflow.schedule", "") == "auto";
+
+  // Collect tasks in section order.
+  std::vector<apps::AppKernel> pipeline;
+  std::vector<std::string> machines;
+  for (const std::string& section : config.sections()) {
+    if (!strings::starts_with(section, "task:")) continue;
+    auto key = [&](const char* k) { return strings::cat(section, ".", k); };
+    apps::AppKernel kernel;
+    kernel.name = section.substr(5);
+    kernel.work_units = config.get_double_or(key("work"), 1);
+    kernel.timesteps = static_cast<int>(
+        config.get_int_or(key("timesteps"), 50));
+    GL_ASSIGN_OR_RETURN(kernel.inputs,
+                        parse_streams(config.get_or(key("inputs"), "")));
+    GL_ASSIGN_OR_RETURN(kernel.outputs,
+                        parse_streams(config.get_or(key("outputs"), "")));
+    kernel.reread_bytes = static_cast<std::uint64_t>(
+        config.get_int_or(key("reread"), 0));
+    // Scale real byte counts.
+    for (auto& stream : kernel.inputs) {
+      stream.bytes = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(stream.bytes / byte_scale));
+    }
+    for (auto& stream : kernel.outputs) {
+      stream.bytes = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(stream.bytes / byte_scale));
+    }
+    kernel.reread_bytes = static_cast<std::uint64_t>(
+        kernel.reread_bytes / byte_scale);
+    pipeline.push_back(kernel);
+    machines.push_back(config.get_or(key("machine"), "brecca"));
+  }
+  if (pipeline.empty()) {
+    return Result<int>(invalid_argument("no [task:*] sections"));
+  }
+
+  if (auto_schedule) {
+    // Let the coupling-aware scheduler place the stages.
+    workflow::Scheduler::Options sched_options;
+    sched_options.runner.mode = mode;
+    std::vector<std::string> candidates;
+    for (const auto& machine : testbed::paper_machines()) {
+      candidates.push_back(machine.name);
+    }
+    GL_ASSIGN_OR_RETURN(const workflow::ScheduleResult schedule,
+                        workflow::Scheduler::schedule(
+                            name, pipeline, candidates, sched_options));
+    machines = schedule.machines;
+    std::printf("scheduler chose:");
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+      std::printf(" %s->%s", pipeline[i].name.c_str(),
+                  machines[i].c_str());
+    }
+    std::printf("  (predicted %.0f s over %zu candidates)\n",
+                schedule.predicted_seconds, schedule.candidates_scored);
+  }
+
+  GL_ASSIGN_OR_RETURN(auto scratch, TempDir::create("griddles-run"));
+  testbed::TestbedRuntime testbed(1.0 / scale, scratch.path().string(),
+                                  byte_scale);
+  workflow::WorkflowRunner runner(testbed);
+  GL_ASSIGN_OR_RETURN(
+      const workflow::WorkflowSpec spec,
+      workflow::WorkflowSpec::from_pipeline(name, pipeline, machines));
+  workflow::WorkflowRunner::Options options;
+  options.mode = mode;
+
+  std::printf("running '%s' (%s, %.0fx time compression)...\n",
+              name.c_str(),
+              std::string(workflow::coupling_mode_name(mode)).c_str(),
+              scale);
+  GL_ASSIGN_OR_RETURN(const workflow::WorkflowReport report,
+                      runner.run(spec, options));
+  for (const auto& task : report.tasks) {
+    std::printf("  %-16s on %-9s finished at %8.0f model s "
+                "(read %llu, wrote %llu bytes)\n",
+                task.name.c_str(), task.machine.c_str(), task.finished_s,
+                (unsigned long long)task.bytes_read,
+                (unsigned long long)task.bytes_written);
+  }
+  for (const auto& copy : report.copies) {
+    std::printf("  copy %-12s %s->%s: %.0f s\n", copy.path.c_str(),
+                copy.from.c_str(), copy.to.c_str(), copy.seconds);
+  }
+  std::printf("total: %.0f model seconds\n", report.total_seconds);
+  return 0;
+}
+
+constexpr const char* kDemoConfig = R"(# auto-generated demo workflow
+[workflow]
+name = demo-climate
+mode = grid-buffers
+scale = 2000
+byte_scale = 256
+schedule = auto
+
+[task:ccam]
+work = 2800
+timesteps = 120
+outputs = CCAM_OUT.DAT:180000000
+
+[task:cc2lam]
+work = 15
+timesteps = 120
+inputs = CCAM_OUT.DAT:180000000
+outputs = LAM_IN.DAT:180000000
+
+[task:darlam]
+work = 1310
+timesteps = 120
+inputs = LAM_IN.DAT:180000000
+outputs = DARLAM_OUT.DAT:60000000
+reread = 30000000
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <workflow.ini> | --demo\n", argv[0]);
+    return 2;
+  }
+  Result<Config> config = invalid_argument("unset");
+  if (std::string(argv[1]) == "--demo") {
+    std::printf("demo workflow config:\n%s\n", kDemoConfig);
+    config = Config::parse(kDemoConfig);
+  } else {
+    config = Config::load(argv[1]);
+  }
+  if (!config.is_ok()) {
+    std::fprintf(stderr, "config: %s\n",
+                 config.status().to_string().c_str());
+    return 1;
+  }
+  auto result = run_from_config(*config);
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 result.status().to_string().c_str());
+    return 1;
+  }
+  return *result;
+}

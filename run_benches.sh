@@ -1,0 +1,21 @@
+#!/bin/sh
+# Runs every benchmark binary sequentially (timing benches must not
+# compete for the CPU) and prints one labelled section per binary.
+set -u
+BUILD=${1:-build}
+for b in \
+    "$BUILD/bench/bench_table2_durability" \
+    "$BUILD/bench/bench_table3_sequential" \
+    "$BUILD/bench/bench_table4_concurrent" \
+    "$BUILD/bench/bench_table5_distributed" \
+    "$BUILD/bench/bench_ablation_advisor" \
+    "$BUILD/bench/bench_ablation_blocksize" ; do
+  echo "===== $b"
+  "$b"
+  echo
+done
+echo "===== $BUILD/bench/bench_micro_io"
+"$BUILD/bench/bench_micro_io" --benchmark_min_time=0.05
+echo
+echo "===== $BUILD/bench/bench_ablation_codec"
+"$BUILD/bench/bench_ablation_codec" --benchmark_min_time=0.05

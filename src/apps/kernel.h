@@ -1,0 +1,73 @@
+// Synthetic legacy applications ("app kernels").
+//
+// The paper's case-study codes (CHAMMY/PAFEC/FAST/... and
+// C-CAM/cc2lam/DARLAM) are proprietary Fortran programs; what the
+// experiments depend on is only their IO pattern and compute cost. An
+// AppKernel captures exactly that: a timestep loop that reads a slice of
+// each input, computes, and writes a slice of each output — through the
+// File Multiplexer, with fopen-style calls, like the legacy codes do.
+// Writers produce deterministic content so tests can verify that every
+// IO mode delivers byte-identical data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/core/multiplexer.h"
+#include "src/testbed/testbed.h"
+
+namespace griddles::apps {
+
+/// One file the kernel touches, with its total volume.
+struct StreamSpec {
+  std::string path;           // name as the legacy program opens it
+  std::uint64_t bytes = 0;    // total volume over the whole run
+};
+
+struct AppKernel {
+  std::string name;
+  double work_units = 0;      // total compute (testbed speed units)
+  int timesteps = 1;          // read/compute/write loop granularity
+  std::vector<StreamSpec> inputs;
+  std::vector<StreamSpec> outputs;
+  /// Bytes of the first input re-read (seek to 0) after the main loop —
+  /// DARLAM's behaviour in §5.3, exercising the Grid Buffer cache.
+  std::uint64_t reread_bytes = 0;
+  /// Verify that input bytes match the deterministic generator output
+  /// (set in tests; costs a pass over the data).
+  bool verify_inputs = false;
+};
+
+/// Execution record for one kernel run.
+struct AppReport {
+  std::string name;
+  Duration started{0};
+  Duration finished{0};
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+
+  double elapsed_seconds() const { return to_seconds_d(finished - started); }
+};
+
+/// Deterministic content generator: byte `i` of the stream named `path`.
+/// Writers emit this sequence; verifying readers recompute it.
+std::uint8_t stream_byte(const std::string& path, std::uint64_t index);
+
+/// Fills `out` with stream content starting at `offset`.
+void fill_stream(const std::string& path, std::uint64_t offset,
+                 MutableByteSpan out);
+
+/// Runs a kernel to completion on a machine, with all file IO through
+/// the File Multiplexer. IO routed to local files (or staged copies)
+/// charges the machine's modelled disk; IO routed to Grid Buffers
+/// charges the per-block IPC cost (the SOAP/service overhead of §4).
+Result<AppReport> run_app(const AppKernel& kernel,
+                          core::FileMultiplexer& fm,
+                          testbed::MachineRuntime& machine, Clock& clock);
+
+/// IO chunk the kernel hands to the FM per call (a legacy WRITE).
+inline constexpr std::size_t kAppIoChunk = 64 * 1024;
+
+}  // namespace griddles::apps

@@ -1,0 +1,115 @@
+#include "src/apps/paper_apps.h"
+
+#include "src/common/strings.h"
+
+namespace griddles::apps {
+
+namespace {
+constexpr std::uint64_t MB = 1000 * 1000;
+
+std::uint64_t scaled(double bytes, double byte_scale) {
+  const double value = bytes / byte_scale;
+  return value < 1 ? 1 : static_cast<std::uint64_t>(value);
+}
+}  // namespace
+
+std::vector<AppKernel> durability_pipeline(double s) {
+  std::vector<AppKernel> pipeline;
+
+  AppKernel chammy;
+  chammy.name = "chammy";
+  chammy.work_units = 70;
+  chammy.timesteps = 20;
+  chammy.outputs = {{"PROFILE_COORD.DAT", scaled(2.0 * MB, s)}};
+  pipeline.push_back(chammy);
+
+  AppKernel pafec;
+  pafec.name = "pafec";
+  pafec.work_units = 975;  // the finite-element stress solve dominates
+  pafec.timesteps = 100;
+  pafec.inputs = {{"PROFILE_COORD.DAT", scaled(2.0 * MB, s)}};
+  pafec.outputs = {{"JOB.O02", scaled(40.0 * MB, s)},
+                   {"JOB.O04", scaled(40.0 * MB, s)},
+                   {"JOB.O07", scaled(20.0 * MB, s)},
+                   {"JOB.SF", scaled(60.0 * MB, s)},
+                   {"JOB.2DISP", scaled(30.0 * MB, s)},
+                   {"JOB.TH", scaled(10.0 * MB, s)}};
+  pipeline.push_back(pafec);
+
+  AppKernel make_sf;
+  make_sf.name = "make_sf_files";
+  make_sf.work_units = 100;
+  make_sf.timesteps = 50;
+  make_sf.inputs = {{"JOB.O02", scaled(40.0 * MB, s)},
+                    {"JOB.O04", scaled(40.0 * MB, s)},
+                    {"JOB.O07", scaled(20.0 * MB, s)}};
+  make_sf.outputs = {{"JOB.KL", scaled(30.0 * MB, s)},
+                     {"JOB.DAT", scaled(10.0 * MB, s)}};
+  pipeline.push_back(make_sf);
+
+  AppKernel fast;
+  fast.name = "fast";
+  fast.work_units = 630;  // crack-propagation cycle counting
+  fast.timesteps = 100;
+  fast.inputs = {{"JOB.SF", scaled(60.0 * MB, s)},
+                 {"JOB.2DISP", scaled(30.0 * MB, s)},
+                 {"JOB.TH", scaled(10.0 * MB, s)},
+                 {"JOB.KL", scaled(30.0 * MB, s)},
+                 {"JOB.DAT", scaled(10.0 * MB, s)}};
+  fast.outputs = {{"JOB.PROP", scaled(10.0 * MB, s)},
+                  {"JOB.LIFE", scaled(10.0 * MB, s)},
+                  {"JOB.GROWTH", scaled(20.0 * MB, s)}};
+  pipeline.push_back(fast);
+
+  AppKernel objective;
+  objective.name = "objective";
+  objective.work_units = 100;
+  objective.timesteps = 20;
+  objective.inputs = {{"JOB.PROP", scaled(10.0 * MB, s)},
+                      {"JOB.LIFE", scaled(10.0 * MB, s)},
+                      {"JOB.GROWTH", scaled(20.0 * MB, s)}};
+  objective.outputs = {{"RESULT.DAT", scaled(0.1 * MB, s)}};
+  pipeline.push_back(objective);
+
+  return pipeline;
+}
+
+std::vector<AppKernel> climate_pipeline(double s) {
+  std::vector<AppKernel> pipeline;
+
+  AppKernel ccam;
+  ccam.name = "ccam";
+  ccam.work_units = 2800;  // the calibration anchor (Table 3)
+  ccam.timesteps = 240;
+  ccam.outputs = {{"CCAM_OUT.DAT", scaled(180.0 * MB, s)}};
+  pipeline.push_back(ccam);
+
+  AppKernel cc2lam;
+  cc2lam.name = "cc2lam";
+  cc2lam.work_units = 15;  // "simple data manipulation and filtering"
+  cc2lam.timesteps = 240;
+  cc2lam.inputs = {{"CCAM_OUT.DAT", scaled(180.0 * MB, s)}};
+  cc2lam.outputs = {{"LAM_IN.DAT", scaled(180.0 * MB, s)}};
+  pipeline.push_back(cc2lam);
+
+  AppKernel darlam;
+  darlam.name = "darlam";
+  darlam.work_units = 1310;
+  darlam.timesteps = 240;
+  darlam.inputs = {{"LAM_IN.DAT", scaled(180.0 * MB, s)}};
+  darlam.outputs = {{"DARLAM_OUT.DAT", scaled(60.0 * MB, s)}};
+  darlam.reread_bytes = scaled(30.0 * MB, s);  // §5.3's cache-file re-read
+  pipeline.push_back(darlam);
+
+  return pipeline;
+}
+
+Result<AppKernel> kernel_named(const std::vector<AppKernel>& pipeline,
+                               const std::string& name) {
+  for (const AppKernel& kernel : pipeline) {
+    if (kernel.name == name) return kernel;
+  }
+  return not_found(strings::cat("no kernel named '", name, "'"));
+}
+
+}  // namespace griddles::apps

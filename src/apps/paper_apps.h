@@ -1,0 +1,33 @@
+// The paper's two case-study pipelines as app kernels.
+//
+// Mechanical engineering durability pipeline (Figure 5):
+//   CHAMMY -> PAFEC -> MAKE_SF_FILES -> FAST -> OBJECTIVE
+// with the JOB.* intermediate files of the figure. Work-unit splits are
+// fitted so experiment 1 of Table 2 lands near 99 minutes on jagan and
+// PAFEC dominates (it is the finite-element solver).
+//
+// Atmospheric sciences pipeline (§5.3):
+//   C-CAM -> cc2lam -> DARLAM
+// with C-CAM calibrated to 2800 work units (the testbed speed anchor),
+// DARLAM to 1310 and cc2lam to 15, all from Table 3. DARLAM re-reads
+// part of its input after the main loop, exercising the Grid Buffer
+// cache exactly as §5.3 describes.
+#pragma once
+
+#include <vector>
+
+#include "src/apps/kernel.h"
+
+namespace griddles::apps {
+
+/// `byte_scale` divides every file size (model times are preserved when
+/// the TestbedRuntime is built with the same scale).
+std::vector<AppKernel> durability_pipeline(double byte_scale = 1.0);
+
+std::vector<AppKernel> climate_pipeline(double byte_scale = 1.0);
+
+/// Look a kernel up by name in a pipeline definition.
+Result<AppKernel> kernel_named(const std::vector<AppKernel>& pipeline,
+                               const std::string& name);
+
+}  // namespace griddles::apps

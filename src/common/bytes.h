@@ -1,0 +1,42 @@
+// Byte-buffer vocabulary types and conversions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace griddles {
+
+using Bytes = std::vector<std::byte>;
+using ByteSpan = std::span<const std::byte>;
+using MutableByteSpan = std::span<std::byte>;
+
+inline Bytes to_bytes(std::string_view text) {
+  Bytes out(text.size());
+  std::memcpy(out.data(), text.data(), text.size());
+  return out;
+}
+
+inline std::string to_string(ByteSpan bytes) {
+  return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+}
+
+inline ByteSpan as_bytes_view(std::string_view text) {
+  return {reinterpret_cast<const std::byte*>(text.data()), text.size()};
+}
+
+/// 64-bit FNV-1a; used for content checksums in tests and replica etags.
+inline std::uint64_t fnv1a(ByteSpan bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const std::byte b : bytes) {
+    hash ^= static_cast<std::uint64_t>(b);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace griddles

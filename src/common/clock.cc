@@ -1,0 +1,64 @@
+#include "src/common/clock.h"
+
+#include <cassert>
+#include <thread>
+
+namespace griddles {
+
+void RealClock::sleep_for(Duration d) {
+  if (d > Duration::zero()) std::this_thread::sleep_for(d);
+}
+
+ScaledClock::ScaledClock(double wall_per_model)
+    : wall_per_model_(wall_per_model), origin_(WallClock::now()) {
+  assert(wall_per_model > 0.0);
+}
+
+Duration ScaledClock::to_wall(Duration model) const {
+  return std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double>(to_seconds_d(model) * wall_per_model_));
+}
+
+Duration ScaledClock::now() const {
+  const Duration wall = WallClock::now() - origin_;
+  return std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double>(to_seconds_d(wall) / wall_per_model_));
+}
+
+void ScaledClock::sleep_for(Duration d) {
+  const Duration wall = to_wall(d);
+  if (wall > Duration::zero()) std::this_thread::sleep_for(wall);
+}
+
+WallClock::time_point ScaledClock::wall_deadline(
+    Duration model_timeout) const {
+  return WallClock::now() + to_wall(model_timeout);
+}
+
+Duration ManualClock::now() const {
+  std::scoped_lock lock(mu_);
+  return now_;
+}
+
+void ManualClock::sleep_for(Duration d) {
+  std::unique_lock lock(mu_);
+  const Duration deadline = now_ + d;
+  cv_.wait(lock, [&] { return now_ >= deadline; });
+}
+
+WallClock::time_point ManualClock::wall_deadline(
+    Duration model_timeout) const {
+  // Blocking primitives polled under a ManualClock treat the model timeout
+  // as a wall timeout; tests that exercise timeouts use short durations.
+  return WallClock::now() + model_timeout;
+}
+
+void ManualClock::advance(Duration d) {
+  {
+    std::scoped_lock lock(mu_);
+    now_ += d;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace griddles

@@ -1,0 +1,111 @@
+// Time abstraction so every GriddLeS component can run at real speed, at a
+// scaled speed (laptop reproduction of the paper's minutes-long WAN runs),
+// or under manual control in unit tests.
+//
+// All components express *model time* as a Duration since the clock's
+// origin. A ScaledClock maps model time onto wall time by a constant
+// factor, so a 99-minute paper experiment replays in a few wall seconds
+// while preserving every ordering and ratio.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace griddles {
+
+using Duration = std::chrono::nanoseconds;
+using WallClock = std::chrono::steady_clock;
+
+constexpr Duration from_seconds_d(double seconds) {
+  return std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+constexpr double to_seconds_d(Duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+/// Model-time clock interface.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Model time elapsed since the clock's origin.
+  virtual Duration now() const = 0;
+
+  /// Blocks the calling thread for the given model duration.
+  virtual void sleep_for(Duration d) = 0;
+
+  /// Maps a model-time timeout into a wall-clock deadline, for use with
+  /// condition_variable::wait_until inside blocking primitives.
+  virtual WallClock::time_point wall_deadline(Duration model_timeout) const = 0;
+
+  /// Wall seconds per model second (1.0 for real time). Lets callers
+  /// batch many tiny model-time waits into sleeps long enough to be
+  /// accurate on a real OS timer.
+  virtual double wall_seconds_per_model_second() const { return 1.0; }
+
+  void sleep_until(Duration model_time) {
+    const Duration current = now();
+    if (model_time > current) sleep_for(model_time - current);
+  }
+};
+
+/// Model time == wall time.
+class RealClock final : public Clock {
+ public:
+  RealClock() : origin_(WallClock::now()) {}
+
+  Duration now() const override { return WallClock::now() - origin_; }
+  void sleep_for(Duration d) override;
+  WallClock::time_point wall_deadline(Duration model_timeout) const override {
+    return WallClock::now() + model_timeout;
+  }
+
+ private:
+  WallClock::time_point origin_;
+};
+
+/// Model time runs `1/scale` times faster than wall time: with
+/// scale = 0.001, one model minute passes in 60 wall milliseconds.
+class ScaledClock final : public Clock {
+ public:
+  /// `wall_per_model`: wall seconds elapsing per model second. Must be > 0.
+  explicit ScaledClock(double wall_per_model);
+
+  Duration now() const override;
+  void sleep_for(Duration d) override;
+  WallClock::time_point wall_deadline(Duration model_timeout) const override;
+  double wall_seconds_per_model_second() const override {
+    return wall_per_model_;
+  }
+
+  double wall_per_model() const noexcept { return wall_per_model_; }
+
+ private:
+  Duration to_wall(Duration model) const;
+  double wall_per_model_;
+  WallClock::time_point origin_;
+};
+
+/// Test clock: time advances only via advance(); sleepers are woken when
+/// their model deadline is reached.
+class ManualClock final : public Clock {
+ public:
+  ManualClock() = default;
+
+  Duration now() const override;
+  void sleep_for(Duration d) override;
+  WallClock::time_point wall_deadline(Duration model_timeout) const override;
+
+  /// Moves model time forward, releasing any sleeps that have matured.
+  void advance(Duration d);
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Duration now_{0};
+};
+
+}  // namespace griddles

@@ -1,0 +1,152 @@
+#include "src/common/config.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/strings.h"
+
+namespace griddles {
+
+Result<Config> Config::parse(std::string_view text) {
+  Config config;
+  std::string section;
+  int line_no = 0;
+  for (const std::string& raw : strings::split(text, '\n')) {
+    ++line_no;
+    std::string_view line = strings::trim(raw);
+    if (line.empty() || line.front() == '#' || line.front() == ';') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        return invalid_argument(
+            strings::cat("config line ", line_no, ": malformed section '",
+                         line, "'"));
+      }
+      section = std::string(strings::trim(line.substr(1, line.size() - 2)));
+      if (std::find(config.section_order_.begin(),
+                    config.section_order_.end(),
+                    section) == config.section_order_.end()) {
+        config.section_order_.push_back(section);
+      }
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return invalid_argument(
+          strings::cat("config line ", line_no, ": expected key=value, got '",
+                       line, "'"));
+    }
+    std::string key(strings::trim(line.substr(0, eq)));
+    std::string_view value = line.substr(eq + 1);
+    // Strip trailing inline comments introduced by " ;".
+    const std::size_t comment = value.find(" ;");
+    if (comment != std::string_view::npos) value = value.substr(0, comment);
+    if (key.empty()) {
+      return invalid_argument(
+          strings::cat("config line ", line_no, ": empty key"));
+    }
+    const std::string full_key =
+        section.empty() ? key : strings::cat(section, ".", key);
+    config.values_[full_key] = std::string(strings::trim(value));
+  }
+  return config;
+}
+
+Result<Config> Config::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return not_found(strings::cat("cannot open config file ", path));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+bool Config::has(std::string_view key) const {
+  return values_.find(std::string(key)) != values_.end();
+}
+
+std::optional<std::string> Config::get(std::string_view key) const {
+  const auto it = values_.find(std::string(key));
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_or(std::string_view key, std::string fallback) const {
+  auto v = get(key);
+  return v ? *v : std::move(fallback);
+}
+
+Result<std::string> Config::get_required(std::string_view key) const {
+  auto v = get(key);
+  if (!v) return not_found(strings::cat("missing config key '", key, "'"));
+  return *v;
+}
+
+Result<long long> Config::get_int(std::string_view key) const {
+  GL_ASSIGN_OR_RETURN(const std::string text, get_required(key));
+  const auto v = strings::parse_int(text);
+  if (!v) {
+    return invalid_argument(
+        strings::cat("config key '", key, "': '", text, "' is not an int"));
+  }
+  return *v;
+}
+
+Result<double> Config::get_double(std::string_view key) const {
+  GL_ASSIGN_OR_RETURN(const std::string text, get_required(key));
+  const auto v = strings::parse_double(text);
+  if (!v) {
+    return invalid_argument(
+        strings::cat("config key '", key, "': '", text, "' is not a number"));
+  }
+  return *v;
+}
+
+Result<bool> Config::get_bool(std::string_view key) const {
+  GL_ASSIGN_OR_RETURN(const std::string text, get_required(key));
+  const auto v = strings::parse_bool(text);
+  if (!v) {
+    return invalid_argument(
+        strings::cat("config key '", key, "': '", text, "' is not a bool"));
+  }
+  return *v;
+}
+
+long long Config::get_int_or(std::string_view key, long long fallback) const {
+  auto r = get_int(key);
+  return r.is_ok() ? *r : fallback;
+}
+
+double Config::get_double_or(std::string_view key, double fallback) const {
+  auto r = get_double(key);
+  return r.is_ok() ? *r : fallback;
+}
+
+bool Config::get_bool_or(std::string_view key, bool fallback) const {
+  auto r = get_bool(key);
+  return r.is_ok() ? *r : fallback;
+}
+
+void Config::set(std::string key, std::string value) {
+  const std::size_t dot = key.find('.');
+  if (dot != std::string::npos) {
+    const std::string section = key.substr(0, dot);
+    if (std::find(section_order_.begin(), section_order_.end(), section) ==
+        section_order_.end()) {
+      section_order_.push_back(section);
+    }
+  }
+  values_[std::move(key)] = std::move(value);
+}
+
+std::vector<std::string> Config::sections() const { return section_order_; }
+
+std::vector<std::string> Config::keys_in(std::string_view section) const {
+  std::vector<std::string> out;
+  const std::string prefix = strings::cat(section, ".");
+  for (const auto& [key, value] : values_) {
+    if (strings::starts_with(key, prefix)) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace griddles

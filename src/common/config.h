@@ -1,0 +1,59 @@
+// INI-style configuration files, used for GNS mapping databases and
+// testbed definitions.
+//
+//   [section]
+//   key = value        ; comment
+//   # comment
+//
+// Keys are addressed as "section.key"; keys before any section header live
+// in the "" section and are addressed by bare name.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace griddles {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses from text; returns a line-numbered error on malformed input.
+  static Result<Config> parse(std::string_view text);
+
+  /// Reads and parses a file.
+  static Result<Config> load(const std::string& path);
+
+  bool has(std::string_view key) const;
+
+  std::optional<std::string> get(std::string_view key) const;
+  std::string get_or(std::string_view key, std::string fallback) const;
+  Result<std::string> get_required(std::string_view key) const;
+
+  Result<long long> get_int(std::string_view key) const;
+  Result<double> get_double(std::string_view key) const;
+  Result<bool> get_bool(std::string_view key) const;
+
+  long long get_int_or(std::string_view key, long long fallback) const;
+  double get_double_or(std::string_view key, double fallback) const;
+  bool get_bool_or(std::string_view key, bool fallback) const;
+
+  void set(std::string key, std::string value);
+
+  /// All section names, in insertion order.
+  std::vector<std::string> sections() const;
+
+  /// All "section.key" keys belonging to a section.
+  std::vector<std::string> keys_in(std::string_view section) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> section_order_;
+};
+
+}  // namespace griddles

@@ -1,0 +1,61 @@
+#include "src/common/logging.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace griddles::log {
+
+namespace {
+Level level_from_env() {
+  const char* env = std::getenv("GRIDDLES_LOG");
+  if (env == nullptr) return Level::kWarn;
+  const std::string_view v(env);
+  if (v == "trace") return Level::kTrace;
+  if (v == "debug") return Level::kDebug;
+  if (v == "info") return Level::kInfo;
+  if (v == "warn") return Level::kWarn;
+  if (v == "error") return Level::kError;
+  if (v == "off") return Level::kOff;
+  return Level::kWarn;
+}
+
+const char* level_tag(Level level) {
+  switch (level) {
+    case Level::kTrace: return "T";
+    case Level::kDebug: return "D";
+    case Level::kInfo: return "I";
+    case Level::kWarn: return "W";
+    case Level::kError: return "E";
+    case Level::kOff: return "?";
+  }
+  return "?";
+}
+
+std::string_view basename_of(std::string_view file) {
+  const std::size_t pos = file.find_last_of('/');
+  return pos == std::string_view::npos ? file : file.substr(pos + 1);
+}
+}  // namespace
+
+Logger::Logger() : level_(level_from_env()) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(Level level, std::string_view file, int line,
+                   const std::string& message) {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+  const std::string base(basename_of(file));
+  std::scoped_lock lock(mu_);
+  std::fprintf(stderr, "[%s %lld.%06lld %s:%d] %s\n", level_tag(level),
+               static_cast<long long>(us / 1000000),
+               static_cast<long long>(us % 1000000), base.c_str(), line,
+               message.c_str());
+}
+
+}  // namespace griddles::log

@@ -1,0 +1,46 @@
+// Leveled, thread-safe logging to stderr.
+//
+// Usage: GL_LOG(kInfo, "grid buffer channel ", name, " opened");
+// The default level is kWarn so tests and benches stay quiet; set
+// GRIDDLES_LOG=debug (or trace/info/warn/error/off) to change it.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "src/common/strings.h"
+
+namespace griddles::log {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  /// Process-wide logger; level initialised from $GRIDDLES_LOG.
+  static Logger& instance();
+
+  void set_level(Level level) noexcept { level_ = level; }
+  Level level() const noexcept { return level_; }
+  bool enabled(Level level) const noexcept { return level >= level_; }
+
+  /// Writes one formatted line; thread-safe.
+  void write(Level level, std::string_view file, int line,
+             const std::string& message);
+
+ private:
+  Logger();
+  Level level_;
+  std::mutex mu_;
+};
+
+}  // namespace griddles::log
+
+#define GL_LOG(level_suffix, ...)                                           \
+  do {                                                                      \
+    auto& gl_logger_ = ::griddles::log::Logger::instance();                 \
+    if (gl_logger_.enabled(::griddles::log::Level::level_suffix)) {         \
+      gl_logger_.write(::griddles::log::Level::level_suffix, __FILE__,      \
+                       __LINE__, ::griddles::strings::cat(__VA_ARGS__));    \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,113 @@
+// BoundedQueue<T>: a blocking MPMC queue with close semantics.
+//
+// Used as the spine of the in-process transport channels and the Grid
+// Buffer writer's asynchronous send pipeline.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace griddles {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity == 0` means unbounded.
+  explicit BoundedQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while full; returns false if the queue was closed.
+  bool push(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || !full_locked(); });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T item) {
+    {
+      std::scoped_lock lock(mu_);
+      if (closed_ || full_locked()) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty; nullopt once the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    return pop_locked(lock);
+  }
+
+  /// As pop(), but gives up at the wall deadline (nullopt; queue intact).
+  std::optional<T> pop_until(std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock lock(mu_);
+    if (!not_empty_.wait_until(
+            lock, deadline, [&] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
+    return pop_locked(lock);
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::unique_lock lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    return pop_locked(lock);
+  }
+
+  /// Wakes all waiters; subsequent pushes fail, pops drain then end.
+  void close() {
+    {
+      std::scoped_lock lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::scoped_lock lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  bool full_locked() const {
+    return capacity_ != 0 && items_.size() >= capacity_;
+  }
+
+  std::optional<T> pop_locked(std::unique_lock<std::mutex>& lock) {
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace griddles

@@ -1,0 +1,52 @@
+// Small string utilities: concatenation, splitting, trimming, parsing.
+#pragma once
+
+#include <charconv>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace griddles::strings {
+
+namespace internal {
+inline void cat_one(std::ostringstream& os) { (void)os; }
+template <typename T, typename... Rest>
+void cat_one(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  cat_one(os, rest...);
+}
+}  // namespace internal
+
+/// Stream-concatenates all arguments into one string.
+template <typename... Args>
+std::string cat(const Args&... args) {
+  std::ostringstream os;
+  internal::cat_one(os, args...);
+  return os.str();
+}
+
+/// Splits on a delimiter character; empty tokens are preserved.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Simple glob match supporting '*' (any run) and '?' (any one char).
+bool glob_match(std::string_view pattern, std::string_view text);
+
+/// Parses a decimal integer; nullopt on any non-numeric residue.
+std::optional<long long> parse_int(std::string_view text);
+std::optional<double> parse_double(std::string_view text);
+std::optional<bool> parse_bool(std::string_view text);
+
+/// Formats "hh:mm:ss" from whole seconds (used by the table benches).
+std::string format_hms(long long seconds);
+/// Formats "mm:ss" from whole seconds.
+std::string format_ms(long long seconds);
+
+}  // namespace griddles::strings

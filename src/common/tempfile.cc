@@ -1,0 +1,54 @@
+#include "src/common/tempfile.h"
+
+#include <atomic>
+#include <random>
+
+#include "src/common/strings.h"
+
+namespace griddles {
+
+namespace {
+std::uint64_t unique_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+  static const std::uint64_t seed = std::random_device{}();
+  return seed ^ (counter.fetch_add(1) + 0x9e3779b97f4a7c15ULL);
+}
+}  // namespace
+
+Result<TempDir> TempDir::create(const std::string& tag) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path root = fs::temp_directory_path(ec);
+  if (ec) return io_error("no temp directory: " + ec.message());
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    fs::path candidate =
+        root / strings::cat(tag, "-", std::hex, unique_suffix());
+    if (fs::create_directory(candidate, ec) && !ec) {
+      return TempDir(std::move(candidate));
+    }
+  }
+  return io_error("could not create unique temp directory under " +
+                  root.string());
+}
+
+TempDir::TempDir(TempDir&& other) noexcept : path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+TempDir& TempDir::operator=(TempDir&& other) noexcept {
+  if (this != &other) {
+    this->~TempDir();
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+TempDir::~TempDir() {
+  if (!path_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);  // best-effort cleanup
+  }
+}
+
+}  // namespace griddles

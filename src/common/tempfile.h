@@ -1,0 +1,37 @@
+// RAII temporary directories, used for Grid Buffer cache files, staged
+// remote copies, and test fixtures.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace griddles {
+
+/// Creates a unique directory under the system temp root and removes it
+/// (recursively) on destruction.
+class TempDir {
+ public:
+  /// `tag` becomes part of the directory name for debuggability.
+  static Result<TempDir> create(const std::string& tag = "griddles");
+
+  TempDir(TempDir&& other) noexcept;
+  TempDir& operator=(TempDir&& other) noexcept;
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  ~TempDir();
+
+  const std::filesystem::path& path() const noexcept { return path_; }
+
+  /// Joins a relative name onto the directory.
+  std::filesystem::path file(const std::string& name) const {
+    return path_ / name;
+  }
+
+ private:
+  explicit TempDir(std::filesystem::path path) : path_(std::move(path)) {}
+  std::filesystem::path path_;
+};
+
+}  // namespace griddles

@@ -1,0 +1,407 @@
+#include "src/core/multiplexer.h"
+
+#include <filesystem>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/core/staged_client.h"
+#include "src/core/tailing_client.h"
+#include "src/core/transcode_client.h"
+#include "src/gridbuffer/file_client.h"
+#include "src/remote/remote_client.h"
+#include "src/replica/replicated_client.h"
+#include "src/vfs/local_client.h"
+
+namespace griddles::core {
+
+namespace {
+Result<net::Endpoint> parse_endpoint(const std::string& text,
+                                     const char* what) {
+  if (text.empty()) {
+    return invalid_argument(
+        strings::cat("mapping is missing its ", what, " endpoint"));
+  }
+  return net::Endpoint::parse(text);
+}
+}  // namespace
+
+FileMultiplexer::FileMultiplexer(Options options)
+    : options_(std::move(options)) {}
+
+FileMultiplexer::~FileMultiplexer() {
+  if (const Status s = close_all(); !s.is_ok()) {
+    GL_LOG(kWarn, "file multiplexer close_all on destruct: ", s);
+  }
+}
+
+Clock& FileMultiplexer::clock() const {
+  if (options_.clock != nullptr) return *options_.clock;
+  static RealClock real_clock;
+  return real_clock;
+}
+
+std::string FileMultiplexer::canonical_path(const std::string& path) const {
+  // The GNS matches "the full path name of the file in the OPEN call":
+  // relative names are anchored at the application's working root.
+  if (!path.empty() && path.front() == '/') return path;
+  return (std::filesystem::path(options_.local_root) / path)
+      .lexically_normal()
+      .string();
+}
+
+std::string FileMultiplexer::staging_path_for(
+    const std::string& canonical) const {
+  return (std::filesystem::path(options_.scratch_dir) /
+          strings::cat("stage-", std::hex, fnv1a(as_bytes_view(canonical))))
+      .string();
+}
+
+Result<int> FileMultiplexer::open(const std::string& path,
+                                  vfs::OpenFlags flags) {
+  if (!flags.read && !flags.write) {
+    return invalid_argument("open selects neither read nor write");
+  }
+  const std::string canonical = canonical_path(path);
+
+  gns::FileMapping mapping;  // defaults to plain local IO
+  if (options_.gns != nullptr) {
+    GL_ASSIGN_OR_RETURN(const std::optional<gns::FileMapping> found,
+                        options_.gns->lookup(options_.host, canonical));
+    if (found) mapping = *found;
+  }
+
+  GL_ASSIGN_OR_RETURN(std::unique_ptr<vfs::FileClient> client,
+                      build_client(canonical, mapping, flags));
+
+  // Heterogeneity: a record schema on the mapping inserts the XDR-style
+  // transcoder (paper §3.3).
+  if (!mapping.record_schema.empty()) {
+    GL_ASSIGN_OR_RETURN(const xdr::RecordSchema schema,
+                        xdr::RecordSchema::parse(mapping.record_schema));
+    GL_ASSIGN_OR_RETURN(client, RecordTranscodingClient::wrap(
+                                    std::move(client), schema));
+  }
+
+  std::scoped_lock lock(mu_);
+  const int fd = next_fd_++;
+  GL_LOG(kDebug, "fm open host=", options_.host, " path=", canonical,
+         " -> fd ", fd, " [", client->describe(), "]");
+  files_[fd] = std::move(client);
+  return fd;
+}
+
+Result<std::unique_ptr<vfs::FileClient>> FileMultiplexer::build_client(
+    const std::string& canonical, const gns::FileMapping& mapping,
+    vfs::OpenFlags flags) {
+  switch (mapping.mode) {
+    case gns::IoMode::kLocal: {
+      const std::string& target =
+          mapping.local_path.empty() ? canonical : mapping.local_path;
+      if (mapping.tail && flags.read && !flags.write) {
+        GL_ASSIGN_OR_RETURN(
+            auto tailing,
+            TailingLocalFileClient::open(target, clock(),
+                                         options_.poll_wait,
+                                         options_.tail_poll_interval));
+        std::scoped_lock lock(mu_);
+        ++stats_.local_opens;
+        return std::unique_ptr<vfs::FileClient>(std::move(tailing));
+      }
+      GL_ASSIGN_OR_RETURN(auto local,
+                          vfs::LocalFileClient::open(target, flags));
+      std::scoped_lock lock(mu_);
+      ++stats_.local_opens;
+      return std::unique_ptr<vfs::FileClient>(std::move(local));
+    }
+
+    case gns::IoMode::kGridBuffer: {
+      if (options_.transport == nullptr) {
+        return failed_precondition(
+            "grid buffer mapping but the FM has no transport");
+      }
+      GL_ASSIGN_OR_RETURN(
+          const net::Endpoint server,
+          parse_endpoint(mapping.buffer_endpoint, "grid buffer"));
+      const std::string channel =
+          mapping.channel.empty() ? canonical : mapping.channel;
+      gridbuffer::ChannelConfig config;
+      config.block_size = mapping.block_size;
+      config.cache_enabled = mapping.cache_enabled;
+      config.expected_readers = mapping.reader_count;
+      GL_ASSIGN_OR_RETURN(
+          auto client,
+          gridbuffer::GridBufferFileClient::open(
+              *options_.transport, server, channel, flags, config,
+              options_.buffer));
+      std::scoped_lock lock(mu_);
+      ++stats_.buffer_opens;
+      return std::unique_ptr<vfs::FileClient>(std::move(client));
+    }
+
+    case gns::IoMode::kRemoteProxy: {
+      if (options_.transport == nullptr) {
+        return failed_precondition(
+            "remote mapping but the FM has no transport");
+      }
+      GL_ASSIGN_OR_RETURN(const net::Endpoint server,
+                          parse_endpoint(mapping.remote_endpoint, "remote"));
+      GL_ASSIGN_OR_RETURN(
+          auto client,
+          remote::RemoteFileClient::open(*options_.transport, server,
+                                         mapping.remote_path, flags));
+      std::scoped_lock lock(mu_);
+      ++stats_.proxy_opens;
+      return std::unique_ptr<vfs::FileClient>(std::move(client));
+    }
+
+    case gns::IoMode::kRemoteCopy: {
+      if (options_.transport == nullptr) {
+        return failed_precondition(
+            "remote mapping but the FM has no transport");
+      }
+      GL_ASSIGN_OR_RETURN(const net::Endpoint server,
+                          parse_endpoint(mapping.remote_endpoint, "remote"));
+      const std::string staging = mapping.local_path.empty()
+                                      ? staging_path_for(canonical)
+                                      : mapping.local_path;
+      GL_ASSIGN_OR_RETURN(
+          auto client,
+          StagedFileClient::open(*options_.transport, clock(), server,
+                                 mapping.remote_path, staging, flags,
+                                 options_.copier));
+      std::scoped_lock lock(mu_);
+      ++stats_.staged_opens;
+      return std::unique_ptr<vfs::FileClient>(std::move(client));
+    }
+
+    case gns::IoMode::kAuto:
+      return build_remote_auto(canonical, mapping, flags);
+
+    case gns::IoMode::kReplicated:
+      return build_replicated(canonical, mapping, flags);
+  }
+  return internal_error("unhandled io mode");
+}
+
+Result<std::unique_ptr<vfs::FileClient>> FileMultiplexer::build_remote_auto(
+    const std::string& canonical, const gns::FileMapping& mapping,
+    vfs::OpenFlags flags) {
+  if (options_.transport == nullptr) {
+    return failed_precondition("auto mapping but the FM has no transport");
+  }
+  GL_ASSIGN_OR_RETURN(const net::Endpoint server,
+                      parse_endpoint(mapping.remote_endpoint, "remote"));
+
+  // Writable opens stage (the copy-out discipline); the advisor only
+  // arbitrates reads.
+  remote::RemoteStrategy strategy = remote::RemoteStrategy::kCopy;
+  if (!flags.write) {
+    // Ask the server for the size, then cost both plans.
+    std::uint64_t file_size = 0;
+    {
+      net::RpcClient stat_rpc(*options_.transport, server);
+      xdr::Encoder enc;
+      enc.put_string(mapping.remote_path);
+      GL_ASSIGN_OR_RETURN(
+          const Bytes reply,
+          stat_rpc.call(remote::method_id(remote::Method::kStat),
+                        enc.buffer()));
+      xdr::Decoder dec(reply);
+      GL_ASSIGN_OR_RETURN(const bool exists, dec.boolean());
+      GL_ASSIGN_OR_RETURN(file_size, dec.u64());
+      if (!exists) {
+        return not_found(
+            strings::cat("remote file missing: ", mapping.remote_path));
+      }
+    }
+    nws::LinkEstimate link{0.05, 1e6};  // conservative default
+    if (options_.estimator != nullptr) {
+      if (auto estimate = options_.estimator->estimate(server.host);
+          estimate.is_ok()) {
+        link = *estimate;
+      }
+    }
+    const remote::Advice advice =
+        remote::advise(file_size, mapping.access_fraction, link,
+                       options_.advisor);
+    strategy = advice.strategy;
+    GL_LOG(kDebug, "fm auto ", canonical, ": copy=",
+           advice.copy_cost_seconds, "s proxy=", advice.proxy_cost_seconds,
+           "s -> ",
+           strategy == remote::RemoteStrategy::kCopy ? "copy" : "proxy");
+  }
+
+  gns::FileMapping resolved = mapping;
+  resolved.mode = strategy == remote::RemoteStrategy::kCopy
+                      ? gns::IoMode::kRemoteCopy
+                      : gns::IoMode::kRemoteProxy;
+  return build_client(canonical, resolved, flags);
+}
+
+Result<std::unique_ptr<vfs::FileClient>> FileMultiplexer::build_replicated(
+    const std::string& canonical, const gns::FileMapping& mapping,
+    vfs::OpenFlags flags) {
+  if (options_.transport == nullptr) {
+    return failed_precondition(
+        "replicated mapping but the FM has no transport");
+  }
+  if (flags.write) {
+    return permission_denied(
+        strings::cat(canonical, " is replicated and therefore read-only"));
+  }
+  if (options_.estimator == nullptr) {
+    return failed_precondition(
+        "replicated mapping needs a link estimator (NWS)");
+  }
+  GL_ASSIGN_OR_RETURN(
+      const net::Endpoint catalog_endpoint,
+      parse_endpoint(mapping.catalog_endpoint, "replica catalog"));
+  const std::string logical =
+      mapping.logical_name.empty() ? canonical : mapping.logical_name;
+
+  replica::CatalogClient* catalog;
+  {
+    std::scoped_lock lock(mu_);
+    auto& slot = catalogs_[catalog_endpoint.to_string()];
+    if (!slot) {
+      slot = std::make_unique<replica::CatalogClient>(*options_.transport,
+                                                      catalog_endpoint);
+    }
+    catalog = slot.get();
+  }
+
+  GL_ASSIGN_OR_RETURN(
+      auto client,
+      replica::ReplicatedFileClient::open(*options_.transport, *catalog,
+                                          logical, *options_.estimator));
+  std::scoped_lock lock(mu_);
+  ++stats_.replicated_opens;
+  return std::unique_ptr<vfs::FileClient>(std::move(client));
+}
+
+Result<std::size_t> FileMultiplexer::read(int fd, MutableByteSpan out) {
+  vfs::FileClient* file;
+  {
+    std::scoped_lock lock(mu_);
+    const auto it = files_.find(fd);
+    if (it == files_.end()) {
+      return invalid_argument(strings::cat("bad descriptor ", fd));
+    }
+    file = it->second.get();
+  }
+  auto got = file->read(out);
+  if (got.is_ok()) {
+    std::scoped_lock lock(mu_);
+    stats_.bytes_read += *got;
+  }
+  return got;
+}
+
+Result<std::size_t> FileMultiplexer::write(int fd, ByteSpan data) {
+  vfs::FileClient* file;
+  {
+    std::scoped_lock lock(mu_);
+    const auto it = files_.find(fd);
+    if (it == files_.end()) {
+      return invalid_argument(strings::cat("bad descriptor ", fd));
+    }
+    file = it->second.get();
+  }
+  auto put = file->write(data);
+  if (put.is_ok()) {
+    std::scoped_lock lock(mu_);
+    stats_.bytes_written += *put;
+  }
+  return put;
+}
+
+Result<std::uint64_t> FileMultiplexer::seek(int fd, std::int64_t offset,
+                                            vfs::Whence whence) {
+  std::unique_lock lock(mu_);
+  const auto it = files_.find(fd);
+  if (it == files_.end()) {
+    return invalid_argument(strings::cat("bad descriptor ", fd));
+  }
+  vfs::FileClient* file = it->second.get();
+  lock.unlock();  // seeks on buffer streams can block awaiting EOF
+  return file->seek(offset, whence);
+}
+
+Result<std::uint64_t> FileMultiplexer::tell(int fd) const {
+  std::scoped_lock lock(mu_);
+  const auto it = files_.find(fd);
+  if (it == files_.end()) {
+    return invalid_argument(strings::cat("bad descriptor ", fd));
+  }
+  return it->second->tell();
+}
+
+Result<std::uint64_t> FileMultiplexer::size(int fd) {
+  std::unique_lock lock(mu_);
+  const auto it = files_.find(fd);
+  if (it == files_.end()) {
+    return invalid_argument(strings::cat("bad descriptor ", fd));
+  }
+  vfs::FileClient* file = it->second.get();
+  lock.unlock();  // stream sizes block until the writer closes
+  return file->size();
+}
+
+Status FileMultiplexer::flush(int fd) {
+  std::unique_lock lock(mu_);
+  const auto it = files_.find(fd);
+  if (it == files_.end()) {
+    return invalid_argument(strings::cat("bad descriptor ", fd));
+  }
+  vfs::FileClient* file = it->second.get();
+  lock.unlock();
+  return file->flush();
+}
+
+Status FileMultiplexer::close(int fd) {
+  std::unique_ptr<vfs::FileClient> file;
+  {
+    std::scoped_lock lock(mu_);
+    const auto it = files_.find(fd);
+    if (it == files_.end()) {
+      return invalid_argument(strings::cat("bad descriptor ", fd));
+    }
+    file = std::move(it->second);
+    files_.erase(it);
+  }
+  // Closing outside the lock: staged files copy back, buffers drain.
+  return file->close();
+}
+
+Status FileMultiplexer::close_all() {
+  std::map<int, std::unique_ptr<vfs::FileClient>> files;
+  {
+    std::scoped_lock lock(mu_);
+    files = std::move(files_);
+    files_.clear();
+  }
+  Status first_error = Status::ok();
+  for (auto& [fd, file] : files) {
+    if (const Status s = file->close();
+        !s.is_ok() && first_error.is_ok()) {
+      first_error = s;
+    }
+  }
+  return first_error;
+}
+
+Result<std::string> FileMultiplexer::describe(int fd) const {
+  std::scoped_lock lock(mu_);
+  const auto it = files_.find(fd);
+  if (it == files_.end()) {
+    return invalid_argument(strings::cat("bad descriptor ", fd));
+  }
+  return it->second->describe();
+}
+
+FmStats FileMultiplexer::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace griddles::core

@@ -1,0 +1,124 @@
+// The File Multiplexer (paper §3, Figure 2): GriddLeS' primary
+// contribution.
+//
+// The FM intercepts the legacy application's file operations. At every
+// OPEN it consults the GriddLeS Name Service for a mapping of (host,
+// path) and routes the file to one of the six IO mechanisms — local file,
+// staged copy, remote proxy, replicated file, or a Grid Buffer stream —
+// choosing copy-vs-proxy at run time from file size, expected access
+// fraction and NWS link forecasts. Each OPEN decides independently, so
+// one file of a program can be local while its neighbour is a live socket
+// to a downstream model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/gns/service.h"
+#include "src/gridbuffer/file_client.h"
+#include "src/net/transport.h"
+#include "src/nws/forecast.h"
+#include "src/remote/advisor.h"
+#include "src/remote/copier.h"
+#include "src/replica/catalog.h"
+#include "src/vfs/file_client.h"
+
+namespace griddles::core {
+
+/// Per-mode open counters (observable routing decisions).
+struct FmStats {
+  std::uint64_t local_opens = 0;
+  std::uint64_t staged_opens = 0;       // whole-file copies (modes 2/5)
+  std::uint64_t proxy_opens = 0;        // remote block access (mode 3)
+  std::uint64_t replicated_opens = 0;   // catalog-resolved (modes 4/5)
+  std::uint64_t buffer_opens = 0;       // grid buffer streams (mode 6)
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+class FileMultiplexer {
+ public:
+  struct Options {
+    /// Host identity used in GNS lookups (a Table 1 machine name).
+    std::string host = "localhost";
+    /// Directory that anchors relative application paths.
+    std::string local_root = ".";
+    /// Directory for staged copies.
+    std::string scratch_dir = "/tmp";
+    /// Name service; null means every open is plain local IO.
+    gns::GnsClient* gns = nullptr;
+    /// Transport for the remote/buffer/replica modes.
+    net::Transport* transport = nullptr;
+    /// Model clock for copy timing; null uses a process-wide RealClock.
+    Clock* clock = nullptr;
+    /// Link forecasts for kAuto and replica selection; optional.
+    nws::LinkEstimator* estimator = nullptr;
+    /// Copy-vs-proxy policy for kAuto mappings.
+    remote::AdvisorPolicy advisor;
+    /// Parallel-stream options for staged copies.
+    remote::FileCopier::Options copier;
+    /// Hook that passes model time while a tailing reader polls a
+    /// growing file (the workflow runner charges machine CPU here).
+    std::function<void(Duration)> poll_wait;
+    /// Poll period for tailing reads.
+    Duration tail_poll_interval = std::chrono::milliseconds(200);
+    /// Grid Buffer client tuning (window, flusher streams, deadlines).
+    gridbuffer::GridBufferFileClient::Tuning buffer;
+  };
+
+  explicit FileMultiplexer(Options options);
+  ~FileMultiplexer();
+
+  FileMultiplexer(const FileMultiplexer&) = delete;
+  FileMultiplexer& operator=(const FileMultiplexer&) = delete;
+
+  /// Intercepted OPEN: resolves the mapping and builds the right client.
+  /// Returns a descriptor (>= 3).
+  Result<int> open(const std::string& path, vfs::OpenFlags flags);
+
+  Result<std::size_t> read(int fd, MutableByteSpan out);
+  Result<std::size_t> write(int fd, ByteSpan data);
+  Result<std::uint64_t> seek(int fd, std::int64_t offset, vfs::Whence whence);
+  Result<std::uint64_t> tell(int fd) const;
+  Result<std::uint64_t> size(int fd);
+  Status flush(int fd);
+  Status close(int fd);
+
+  /// Closes every open descriptor (end of the application).
+  Status close_all();
+
+  /// Diagnostic description of an open descriptor's routing.
+  Result<std::string> describe(int fd) const;
+
+  FmStats stats() const;
+  const Options& options() const noexcept { return options_; }
+
+  /// The canonical (GNS-key) form of an application path.
+  std::string canonical_path(const std::string& path) const;
+
+ private:
+  Result<std::unique_ptr<vfs::FileClient>> build_client(
+      const std::string& canonical, const gns::FileMapping& mapping,
+      vfs::OpenFlags flags);
+  Result<std::unique_ptr<vfs::FileClient>> build_remote_auto(
+      const std::string& canonical, const gns::FileMapping& mapping,
+      vfs::OpenFlags flags);
+  Result<std::unique_ptr<vfs::FileClient>> build_replicated(
+      const std::string& canonical, const gns::FileMapping& mapping,
+      vfs::OpenFlags flags);
+  std::string staging_path_for(const std::string& canonical) const;
+  Clock& clock() const;
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<int, std::unique_ptr<vfs::FileClient>> files_;
+  int next_fd_ = 3;
+  FmStats stats_;
+  std::map<std::string, std::unique_ptr<replica::CatalogClient>> catalogs_;
+};
+
+}  // namespace griddles::core

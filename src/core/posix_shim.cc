@@ -1,0 +1,126 @@
+#include "src/core/posix_shim.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace griddles::core {
+
+namespace {
+std::atomic<FileMultiplexer*> g_fm{nullptr};
+thread_local std::string t_last_error;
+
+void set_error(const Status& status) { t_last_error = status.to_string(); }
+void clear_error() { t_last_error.clear(); }
+
+Result<vfs::OpenFlags> parse_mode(const char* mode) {
+  if (mode == nullptr) return invalid_argument("null open mode");
+  const std::string_view m(mode);
+  if (m == "r" || m == "rb") return vfs::OpenFlags::input();
+  if (m == "w" || m == "wb") return vfs::OpenFlags::output();
+  if (m == "r+" || m == "rb+" || m == "r+b") return vfs::OpenFlags::update();
+  if (m == "a" || m == "ab") return vfs::OpenFlags::appending();
+  return invalid_argument(std::string("unsupported open mode '") +
+                          mode + "'");
+}
+}  // namespace
+
+void glio_install(FileMultiplexer* fm) { g_fm.store(fm); }
+
+FileMultiplexer* glio_current() { return g_fm.load(); }
+
+int glio_open(const char* path, const char* mode) {
+  FileMultiplexer* fm = g_fm.load();
+  if (fm == nullptr || path == nullptr) {
+    set_error(failed_precondition("no file multiplexer installed"));
+    return -1;
+  }
+  auto flags = parse_mode(mode);
+  if (!flags.is_ok()) {
+    set_error(flags.status());
+    return -1;
+  }
+  auto fd = fm->open(path, *flags);
+  if (!fd.is_ok()) {
+    set_error(fd.status());
+    return -1;
+  }
+  clear_error();
+  return *fd;
+}
+
+std::int64_t glio_read(int fd, void* buffer, std::size_t size) {
+  FileMultiplexer* fm = g_fm.load();
+  if (fm == nullptr) {
+    set_error(failed_precondition("no file multiplexer installed"));
+    return -1;
+  }
+  auto got = fm->read(fd, {static_cast<std::byte*>(buffer), size});
+  if (!got.is_ok()) {
+    set_error(got.status());
+    return -1;
+  }
+  clear_error();
+  return static_cast<std::int64_t>(*got);
+}
+
+std::int64_t glio_write(int fd, const void* buffer, std::size_t size) {
+  FileMultiplexer* fm = g_fm.load();
+  if (fm == nullptr) {
+    set_error(failed_precondition("no file multiplexer installed"));
+    return -1;
+  }
+  auto put = fm->write(fd, {static_cast<const std::byte*>(buffer), size});
+  if (!put.is_ok()) {
+    set_error(put.status());
+    return -1;
+  }
+  clear_error();
+  return static_cast<std::int64_t>(*put);
+}
+
+std::int64_t glio_lseek(int fd, std::int64_t offset, int whence) {
+  FileMultiplexer* fm = g_fm.load();
+  if (fm == nullptr || whence < 0 || whence > 2) {
+    set_error(invalid_argument("bad lseek arguments"));
+    return -1;
+  }
+  auto pos = fm->seek(fd, offset, static_cast<vfs::Whence>(whence));
+  if (!pos.is_ok()) {
+    set_error(pos.status());
+    return -1;
+  }
+  clear_error();
+  return static_cast<std::int64_t>(*pos);
+}
+
+int glio_flush(int fd) {
+  FileMultiplexer* fm = g_fm.load();
+  if (fm == nullptr) {
+    set_error(failed_precondition("no file multiplexer installed"));
+    return -1;
+  }
+  if (const Status s = fm->flush(fd); !s.is_ok()) {
+    set_error(s);
+    return -1;
+  }
+  clear_error();
+  return 0;
+}
+
+int glio_close(int fd) {
+  FileMultiplexer* fm = g_fm.load();
+  if (fm == nullptr) {
+    set_error(failed_precondition("no file multiplexer installed"));
+    return -1;
+  }
+  if (const Status s = fm->close(fd); !s.is_ok()) {
+    set_error(s);
+    return -1;
+  }
+  clear_error();
+  return 0;
+}
+
+const char* glio_last_error() { return t_last_error.c_str(); }
+
+}  // namespace griddles::core

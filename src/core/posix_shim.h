@@ -1,0 +1,44 @@
+// C-style interposition shim over a process-global File Multiplexer.
+//
+// This is the surface an LD_PRELOAD layer (Bypass, in the paper) binds
+// to: the functions mirror the classic open/read/write/lseek/close unit
+// so legacy C/Fortran IO can be redirected with no source change. The
+// examples use it to show that the *same* application code runs in every
+// IO configuration.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/core/multiplexer.h"
+
+namespace griddles::core {
+
+/// Installs the process-global FM (not owned). Pass nullptr to uninstall.
+void glio_install(FileMultiplexer* fm);
+
+/// The currently installed FM (null if none).
+FileMultiplexer* glio_current();
+
+/// fopen-style mode strings: "r", "w", "r+", "a".
+/// Returns a descriptor >= 3, or -1 (see glio_last_error()).
+int glio_open(const char* path, const char* mode);
+
+/// Returns bytes read, 0 at EOF, or -1 on error.
+std::int64_t glio_read(int fd, void* buffer, std::size_t size);
+
+/// Returns bytes written or -1 on error.
+std::int64_t glio_write(int fd, const void* buffer, std::size_t size);
+
+/// whence: 0 = SET, 1 = CUR, 2 = END. Returns new offset or -1.
+std::int64_t glio_lseek(int fd, std::int64_t offset, int whence);
+
+/// Returns 0 on success, -1 on error.
+int glio_flush(int fd);
+int glio_close(int fd);
+
+/// The Status message of the most recent failing glio_* call on this
+/// thread ("" when the last call succeeded).
+const char* glio_last_error();
+
+}  // namespace griddles::core

@@ -1,0 +1,178 @@
+#include "src/core/stream.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/common/logging.h"
+
+namespace griddles::core {
+
+Result<GlStream> GlStream::open(FileMultiplexer& fm, const std::string& path,
+                                const char* mode) {
+  vfs::OpenFlags flags;
+  const std::string_view m(mode == nullptr ? "" : mode);
+  if (m == "r") {
+    flags = vfs::OpenFlags::input();
+  } else if (m == "w") {
+    flags = vfs::OpenFlags::output();
+  } else if (m == "a") {
+    flags = vfs::OpenFlags::appending();
+  } else if (m == "r+") {
+    flags = vfs::OpenFlags::update();
+  } else {
+    return invalid_argument(std::string("bad stream mode '") +
+                            (mode ? mode : "(null)") + "'");
+  }
+  GL_ASSIGN_OR_RETURN(const int fd, fm.open(path, flags));
+  return GlStream(&fm, fd);
+}
+
+GlStream::GlStream(GlStream&& other) noexcept
+    : fm_(other.fm_), fd_(other.fd_),
+      read_buffer_(std::move(other.read_buffer_)),
+      read_pos_(other.read_pos_),
+      write_buffer_(std::move(other.write_buffer_)),
+      eof_seen_(other.eof_seen_) {
+  other.fm_ = nullptr;
+  other.fd_ = -1;
+}
+
+GlStream& GlStream::operator=(GlStream&& other) noexcept {
+  if (this != &other) {
+    (void)close();
+    fm_ = other.fm_;
+    fd_ = other.fd_;
+    read_buffer_ = std::move(other.read_buffer_);
+    read_pos_ = other.read_pos_;
+    write_buffer_ = std::move(other.write_buffer_);
+    eof_seen_ = other.eof_seen_;
+    other.fm_ = nullptr;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+GlStream::~GlStream() {
+  if (const Status s = close(); !s.is_ok()) {
+    GL_LOG(kWarn, "GlStream close on destruct: ", s);
+  }
+}
+
+Status GlStream::fill_read_buffer() {
+  if (eof_seen_) return Status::ok();
+  // Compact consumed prefix.
+  if (read_pos_ > 0) {
+    read_buffer_.erase(read_buffer_.begin(),
+                       read_buffer_.begin() +
+                           static_cast<std::ptrdiff_t>(read_pos_));
+    read_pos_ = 0;
+  }
+  const std::size_t old_size = read_buffer_.size();
+  read_buffer_.resize(old_size + kReadChunk);
+  GL_ASSIGN_OR_RETURN(
+      const std::size_t got,
+      fm_->read(fd_, {read_buffer_.data() + old_size, kReadChunk}));
+  read_buffer_.resize(old_size + got);
+  if (got == 0) eof_seen_ = true;
+  return Status::ok();
+}
+
+Result<std::optional<std::string>> GlStream::read_line() {
+  if (fm_ == nullptr) return failed_precondition("stream is closed");
+  GL_RETURN_IF_ERROR(flush());
+  while (true) {
+    for (std::size_t i = read_pos_; i < read_buffer_.size(); ++i) {
+      if (read_buffer_[i] == std::byte{'\n'}) {
+        std::string line(
+            reinterpret_cast<const char*>(read_buffer_.data() + read_pos_),
+            i - read_pos_);
+        read_pos_ = i + 1;
+        return std::optional<std::string>(std::move(line));
+      }
+    }
+    if (eof_seen_) {
+      if (read_pos_ >= read_buffer_.size()) {
+        return std::optional<std::string>();  // clean EOF
+      }
+      // Final line without a newline.
+      std::string line(
+          reinterpret_cast<const char*>(read_buffer_.data() + read_pos_),
+          read_buffer_.size() - read_pos_);
+      read_pos_ = read_buffer_.size();
+      return std::optional<std::string>(std::move(line));
+    }
+    GL_RETURN_IF_ERROR(fill_read_buffer());
+  }
+}
+
+Status GlStream::write_line(std::string_view line) {
+  GL_RETURN_IF_ERROR(write(as_bytes_view(line)));
+  const char newline = '\n';
+  return write({reinterpret_cast<const std::byte*>(&newline), 1});
+}
+
+Status GlStream::printf(const char* format, ...) {
+  char stack_buffer[512];
+  va_list args;
+  va_start(args, format);
+  const int needed =
+      std::vsnprintf(stack_buffer, sizeof(stack_buffer), format, args);
+  va_end(args);
+  if (needed < 0) return invalid_argument("bad printf format");
+  if (static_cast<std::size_t>(needed) < sizeof(stack_buffer)) {
+    return write({reinterpret_cast<const std::byte*>(stack_buffer),
+                  static_cast<std::size_t>(needed)});
+  }
+  std::string heap_buffer(static_cast<std::size_t>(needed) + 1, '\0');
+  va_start(args, format);
+  std::vsnprintf(heap_buffer.data(), heap_buffer.size(), format, args);
+  va_end(args);
+  return write({reinterpret_cast<const std::byte*>(heap_buffer.data()),
+                static_cast<std::size_t>(needed)});
+}
+
+Result<std::size_t> GlStream::read(MutableByteSpan out) {
+  if (fm_ == nullptr) return failed_precondition("stream is closed");
+  GL_RETURN_IF_ERROR(flush());
+  // Serve buffered bytes first.
+  if (read_pos_ < read_buffer_.size()) {
+    const std::size_t take =
+        std::min(out.size(), read_buffer_.size() - read_pos_);
+    std::copy_n(read_buffer_.begin() +
+                    static_cast<std::ptrdiff_t>(read_pos_),
+                take, out.begin());
+    read_pos_ += take;
+    return take;
+  }
+  return fm_->read(fd_, out);
+}
+
+Status GlStream::write(ByteSpan data) {
+  if (fm_ == nullptr) return failed_precondition("stream is closed");
+  write_buffer_.insert(write_buffer_.end(), data.begin(), data.end());
+  if (write_buffer_.size() >= kWriteFlushAt) return flush();
+  return Status::ok();
+}
+
+Status GlStream::flush() {
+  if (fm_ == nullptr || write_buffer_.empty()) return Status::ok();
+  GL_ASSIGN_OR_RETURN(const std::size_t put,
+                      fm_->write(fd_, write_buffer_));
+  if (put != write_buffer_.size()) {
+    return io_error("short write through the multiplexer");
+  }
+  write_buffer_.clear();
+  return Status::ok();
+}
+
+Status GlStream::close() {
+  if (fm_ == nullptr) return Status::ok();
+  const Status flushed = flush();
+  const Status closed = fm_->close(fd_);
+  fm_ = nullptr;
+  fd_ = -1;
+  GL_RETURN_IF_ERROR(flushed);
+  return closed;
+}
+
+}  // namespace griddles::core

@@ -1,0 +1,66 @@
+// GlStream: a buffered, fgets/fprintf-style convenience layer over an FM
+// descriptor — the shape of IO most legacy Fortran/C codes actually do
+// (formatted ASCII records, line by line; paper §3.3 notes formatted
+// ASCII is the traditional portable format).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/core/multiplexer.h"
+
+namespace griddles::core {
+
+class GlStream {
+ public:
+  /// Opens `path` through the multiplexer with fopen-style `mode`
+  /// ("r", "w", "a", "r+").
+  static Result<GlStream> open(FileMultiplexer& fm, const std::string& path,
+                               const char* mode);
+
+  GlStream(GlStream&& other) noexcept;
+  GlStream& operator=(GlStream&& other) noexcept;
+  GlStream(const GlStream&) = delete;
+  GlStream& operator=(const GlStream&) = delete;
+  ~GlStream();
+
+  /// Reads up to (and including) the next '\n'; nullopt at EOF.
+  /// The trailing newline is stripped.
+  Result<std::optional<std::string>> read_line();
+
+  /// Writes a line, appending '\n'.
+  Status write_line(std::string_view line);
+
+  /// printf-style formatted write.
+  Status printf(const char* format, ...)
+      __attribute__((format(printf, 2, 3)));
+
+  /// Unbuffered raw access (flushes pending writes first).
+  Result<std::size_t> read(MutableByteSpan out);
+  Status write(ByteSpan data);
+
+  /// Pushes buffered writes to the FM.
+  Status flush();
+
+  /// Flushes and closes the descriptor. Idempotent.
+  Status close();
+
+  int fd() const noexcept { return fd_; }
+
+ private:
+  GlStream(FileMultiplexer* fm, int fd) : fm_(fm), fd_(fd) {}
+
+  Status fill_read_buffer();
+
+  FileMultiplexer* fm_ = nullptr;
+  int fd_ = -1;
+  Bytes read_buffer_;
+  std::size_t read_pos_ = 0;
+  Bytes write_buffer_;
+  bool eof_seen_ = false;
+
+  static constexpr std::size_t kReadChunk = 16 * 1024;
+  static constexpr std::size_t kWriteFlushAt = 16 * 1024;
+};
+
+}  // namespace griddles::core

@@ -1,0 +1,117 @@
+#include "src/core/tailing_client.h"
+
+#include <filesystem>
+
+#include "src/common/strings.h"
+
+namespace griddles::core {
+
+std::string TailingLocalFileClient::done_marker(const std::string& path) {
+  return path + ".done";
+}
+
+Result<std::unique_ptr<TailingLocalFileClient>> TailingLocalFileClient::open(
+    const std::string& path, Clock& clock, PollWait poll_wait,
+    Duration poll_interval) {
+  auto client = std::unique_ptr<TailingLocalFileClient>(
+      new TailingLocalFileClient(nullptr, path, clock, std::move(poll_wait),
+                                 poll_interval));
+  // Wait for the producer to create the file.
+  int polls = 0;
+  while (true) {
+    auto inner = vfs::LocalFileClient::open(path, vfs::OpenFlags::input());
+    if (inner.is_ok()) {
+      client->inner_ = std::move(*inner);
+      return client;
+    }
+    if (inner.status().code() != ErrorCode::kNotFound) {
+      return inner.status();
+    }
+    if (client->producer_done()) {
+      // Producer finished without ever creating the file.
+      return not_found(strings::cat("tail: producer finished but ", path,
+                                    " was never created"));
+    }
+    if (++polls > kMaxIdlePolls) {
+      return timeout_error(strings::cat("tail: gave up waiting for ", path));
+    }
+    client->wait_one_poll();
+  }
+}
+
+TailingLocalFileClient::TailingLocalFileClient(
+    std::unique_ptr<vfs::LocalFileClient> inner, std::string path,
+    Clock& clock, PollWait poll_wait, Duration poll_interval)
+    : inner_(std::move(inner)), path_(std::move(path)), clock_(clock),
+      poll_wait_(std::move(poll_wait)), poll_interval_(poll_interval) {}
+
+bool TailingLocalFileClient::producer_done() const {
+  std::error_code ec;
+  return std::filesystem::exists(done_marker(path_), ec);
+}
+
+void TailingLocalFileClient::wait_one_poll() {
+  if (poll_wait_) {
+    poll_wait_(poll_interval_);
+  } else {
+    clock_.sleep_for(poll_interval_);
+  }
+}
+
+Result<std::size_t> TailingLocalFileClient::read(MutableByteSpan out) {
+  int idle_polls = 0;
+  while (true) {
+    GL_ASSIGN_OR_RETURN(const std::size_t got, inner_->read(out));
+    if (got > 0) return got;
+    if (producer_done()) {
+      // One more read after the marker: data written between our read
+      // and the marker check must not be lost.
+      GL_ASSIGN_OR_RETURN(const std::size_t final_got, inner_->read(out));
+      return final_got;
+    }
+    if (++idle_polls > kMaxIdlePolls) {
+      return timeout_error(
+          strings::cat("tail: no growth on ", path_, "; producer stuck?"));
+    }
+    wait_one_poll();
+  }
+}
+
+Result<std::size_t> TailingLocalFileClient::write(ByteSpan) {
+  return permission_denied("tailing files are read-only");
+}
+
+Result<std::uint64_t> TailingLocalFileClient::seek(std::int64_t offset,
+                                                   vfs::Whence whence) {
+  if (whence == vfs::Whence::kEnd) {
+    // The end is only defined once the producer finished.
+    GL_ASSIGN_OR_RETURN(const std::uint64_t total, size());
+    return inner_->seek(static_cast<std::int64_t>(total) + offset,
+                        vfs::Whence::kSet);
+  }
+  return inner_->seek(offset, whence);
+}
+
+std::uint64_t TailingLocalFileClient::tell() const { return inner_->tell(); }
+
+Result<std::uint64_t> TailingLocalFileClient::size() {
+  int idle_polls = 0;
+  while (!producer_done()) {
+    if (++idle_polls > kMaxIdlePolls) {
+      return timeout_error(
+          strings::cat("tail: size of ", path_, " never finalized"));
+    }
+    wait_one_poll();
+  }
+  return inner_->size();
+}
+
+Status TailingLocalFileClient::flush() { return Status::ok(); }
+
+Status TailingLocalFileClient::close() { return inner_->close(); }
+
+std::string TailingLocalFileClient::describe() const {
+  return strings::cat("tail:", path_);
+}
+
+}  // namespace griddles::core

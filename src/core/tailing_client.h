@@ -1,0 +1,63 @@
+// TailingLocalFileClient: reads a local file that a concurrent process is
+// still writing.
+//
+// A conventional-files workflow that launches all stages at once (Table 4
+// "With Files") has downstream programs hitting EOF on half-written
+// files. The FM handles this by poll-and-retry: EOF is only final once
+// the producer's completion marker ("<path>.done") exists. Each poll
+// passes model time through the FM's poll_wait hook, which the workflow
+// runner wires to the machine model so polling burns CPU — the effect
+// that makes concurrent-with-files runs slower than buffered ones.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "src/common/clock.h"
+#include "src/vfs/local_client.h"
+
+namespace griddles::core {
+
+/// Passes model time while a tailing reader waits for the producer.
+using PollWait = std::function<void(Duration)>;
+
+class TailingLocalFileClient final : public vfs::FileClient {
+ public:
+  /// Waits (polling) until `path` exists, then opens it for reading.
+  static Result<std::unique_ptr<TailingLocalFileClient>> open(
+      const std::string& path, Clock& clock, PollWait poll_wait,
+      Duration poll_interval);
+
+  Result<std::size_t> read(MutableByteSpan out) override;
+  Result<std::size_t> write(ByteSpan data) override;
+  Result<std::uint64_t> seek(std::int64_t offset, vfs::Whence whence) override;
+  std::uint64_t tell() const override;
+
+  /// Final size: polls until the producer's done marker, then stats.
+  Result<std::uint64_t> size() override;
+  Status flush() override;
+  Status close() override;
+  std::string describe() const override;
+
+  /// "<path>.done", the completion marker a workflow runner creates when
+  /// the producing task finishes.
+  static std::string done_marker(const std::string& path);
+
+ private:
+  TailingLocalFileClient(std::unique_ptr<vfs::LocalFileClient> inner,
+                         std::string path, Clock& clock, PollWait poll_wait,
+                         Duration poll_interval);
+
+  bool producer_done() const;
+  void wait_one_poll();
+
+  std::unique_ptr<vfs::LocalFileClient> inner_;
+  std::string path_;
+  Clock& clock_;
+  PollWait poll_wait_;
+  Duration poll_interval_;
+  /// Gives up after this many consecutive empty polls (deadlock guard).
+  static constexpr int kMaxIdlePolls = 100000;
+};
+
+}  // namespace griddles::core

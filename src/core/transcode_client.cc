@@ -1,0 +1,137 @@
+#include "src/core/transcode_client.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace griddles::core {
+
+Result<std::unique_ptr<RecordTranscodingClient>>
+RecordTranscodingClient::wrap(std::unique_ptr<vfs::FileClient> inner,
+                              const xdr::RecordSchema& schema,
+                              std::endian host_order) {
+  if (schema.record_size() == 0) {
+    return invalid_argument("transcoding needs a non-empty record schema");
+  }
+  const bool swap_needed = host_order != std::endian::big;
+  return std::unique_ptr<RecordTranscodingClient>(
+      new RecordTranscodingClient(std::move(inner), schema, swap_needed));
+}
+
+Result<std::size_t> RecordTranscodingClient::read(MutableByteSpan out) {
+  std::size_t served = 0;
+  while (served < out.size()) {
+    // Serve from the decoded buffer first.
+    if (read_buffer_pos_ < read_buffer_.size()) {
+      const std::size_t take = std::min(out.size() - served,
+                                        read_buffer_.size() -
+                                            read_buffer_pos_);
+      std::copy_n(read_buffer_.begin() +
+                      static_cast<std::ptrdiff_t>(read_buffer_pos_),
+                  take,
+                  out.begin() + static_cast<std::ptrdiff_t>(served));
+      read_buffer_pos_ += take;
+      served += take;
+      logical_cursor_ += take;
+      continue;
+    }
+    // Refill: read a batch of whole records from the wire.
+    const std::size_t record = schema_.record_size();
+    const std::size_t want =
+        std::max<std::size_t>(record,
+                              (out.size() - served) / record * record);
+    read_buffer_.assign(want, std::byte{0});
+    read_buffer_pos_ = 0;
+    std::size_t got = 0;
+    while (got < want) {
+      GL_ASSIGN_OR_RETURN(
+          const std::size_t n,
+          inner_->read({read_buffer_.data() + got, want - got}));
+      if (n == 0) break;
+      got += n;
+    }
+    if (got == 0) {
+      read_buffer_.clear();
+      return served;  // clean EOF
+    }
+    if (got % record != 0) {
+      return io_error(strings::cat(
+          "stream ends mid-record (", got % record, " trailing bytes of a ",
+          record, "-byte record)"));
+    }
+    read_buffer_.resize(got);
+    if (swap_needed_) {
+      GL_RETURN_IF_ERROR(schema_.swap_records(
+          {read_buffer_.data(), read_buffer_.size()}));
+    }
+  }
+  return served;
+}
+
+Result<std::size_t> RecordTranscodingClient::write(ByteSpan data) {
+  const std::size_t accepted = data.size();
+  write_buffer_.insert(write_buffer_.end(), data.begin(), data.end());
+  const std::size_t record = schema_.record_size();
+  const std::size_t whole = write_buffer_.size() / record * record;
+  if (whole > 0) {
+    if (swap_needed_) {
+      GL_RETURN_IF_ERROR(schema_.swap_records({write_buffer_.data(), whole}));
+    }
+    GL_RETURN_IF_ERROR(
+        vfs::write_all(*inner_, {write_buffer_.data(), whole}));
+    write_buffer_.erase(write_buffer_.begin(),
+                        write_buffer_.begin() +
+                            static_cast<std::ptrdiff_t>(whole));
+  }
+  logical_cursor_ += accepted;
+  return accepted;
+}
+
+Result<std::uint64_t> RecordTranscodingClient::seek(std::int64_t offset,
+                                                    vfs::Whence whence) {
+  if (!write_buffer_.empty()) {
+    return failed_precondition(
+        "seek with a partial record pending write; finish the record first");
+  }
+  GL_ASSIGN_OR_RETURN(const std::uint64_t pos, inner_->seek(offset, whence));
+  if (pos % schema_.record_size() != 0) {
+    return invalid_argument(
+        strings::cat("seek target ", pos, " is not record-aligned (",
+                     schema_.record_size(), "-byte records)"));
+  }
+  read_buffer_.clear();
+  read_buffer_pos_ = 0;
+  logical_cursor_ = pos;
+  return pos;
+}
+
+std::uint64_t RecordTranscodingClient::tell() const {
+  return logical_cursor_;
+}
+
+Result<std::uint64_t> RecordTranscodingClient::size() {
+  return inner_->size();
+}
+
+Status RecordTranscodingClient::flush() {
+  if (!write_buffer_.empty()) {
+    return failed_precondition(
+        "flush with a partial record buffered; records must be whole");
+  }
+  return inner_->flush();
+}
+
+Status RecordTranscodingClient::close() {
+  if (!write_buffer_.empty()) {
+    return io_error(strings::cat("closing with ", write_buffer_.size(),
+                                 " bytes of an unfinished record"));
+  }
+  return inner_->close();
+}
+
+std::string RecordTranscodingClient::describe() const {
+  return strings::cat("xdr[", schema_.to_string(), "]:",
+                      inner_->describe());
+}
+
+}  // namespace griddles::core

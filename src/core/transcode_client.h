@@ -1,0 +1,55 @@
+// RecordTranscodingClient: transparent byte reordering for heterogeneous
+// endpoints (paper §3.3).
+//
+// When a GNS mapping carries a record schema, the writer-side FM converts
+// records from host order to the canonical (big-endian) wire order, and
+// the reader-side FM converts back to its host order. On a little-endian
+// pair both swaps happen (and cancel); on a mixed pair exactly the right
+// one does — the XDR discipline, applied to legacy record files without
+// touching the application.
+#pragma once
+
+#include <bit>
+#include <memory>
+
+#include "src/vfs/file_client.h"
+#include "src/xdr/record.h"
+
+namespace griddles::core {
+
+class RecordTranscodingClient final : public vfs::FileClient {
+ public:
+  /// Wraps `inner`. Writes are host->canonical; reads canonical->host.
+  /// `host_order` is exposed for tests; defaults to the real host.
+  static Result<std::unique_ptr<RecordTranscodingClient>> wrap(
+      std::unique_ptr<vfs::FileClient> inner, const xdr::RecordSchema& schema,
+      std::endian host_order = std::endian::native);
+
+  Result<std::size_t> read(MutableByteSpan out) override;
+  Result<std::size_t> write(ByteSpan data) override;
+
+  /// Seeks must land on record boundaries and not strand partial data.
+  Result<std::uint64_t> seek(std::int64_t offset, vfs::Whence whence) override;
+  std::uint64_t tell() const override;
+  Result<std::uint64_t> size() override;
+  Status flush() override;
+  Status close() override;
+  std::string describe() const override;
+
+ private:
+  RecordTranscodingClient(std::unique_ptr<vfs::FileClient> inner,
+                          xdr::RecordSchema schema, bool swap_needed)
+      : inner_(std::move(inner)), schema_(std::move(schema)),
+        swap_needed_(swap_needed) {}
+
+  std::unique_ptr<vfs::FileClient> inner_;
+  xdr::RecordSchema schema_;
+  bool swap_needed_;  // host order != canonical big-endian
+
+  Bytes write_buffer_;  // bytes awaiting a whole record (app -> wire)
+  Bytes read_buffer_;   // decoded bytes awaiting the app
+  std::size_t read_buffer_pos_ = 0;
+  std::uint64_t logical_cursor_ = 0;  // app-visible position
+};
+
+}  // namespace griddles::core

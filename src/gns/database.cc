@@ -1,0 +1,61 @@
+#include "src/gns/database.h"
+
+#include <algorithm>
+
+namespace griddles::gns {
+
+void Database::add_rule(MappingRule rule) {
+  std::scoped_lock lock(mu_);
+  rules_.push_back(std::move(rule));
+  ++version_;
+}
+
+void Database::set_rules(std::vector<MappingRule> rules) {
+  std::scoped_lock lock(mu_);
+  rules_ = std::move(rules);
+  ++version_;
+}
+
+std::size_t Database::remove_rules(const std::string& host_pattern,
+                                   const std::string& path_pattern) {
+  std::scoped_lock lock(mu_);
+  const auto it = std::remove_if(
+      rules_.begin(), rules_.end(), [&](const MappingRule& rule) {
+        return rule.host_pattern == host_pattern &&
+               rule.path_pattern == path_pattern;
+      });
+  const std::size_t removed = static_cast<std::size_t>(rules_.end() - it);
+  rules_.erase(it, rules_.end());
+  if (removed > 0) ++version_;
+  return removed;
+}
+
+std::optional<FileMapping> Database::lookup(std::string_view host,
+                                            std::string_view path) const {
+  std::scoped_lock lock(mu_);
+  for (auto it = rules_.rbegin(); it != rules_.rend(); ++it) {
+    if (it->matches(host, path)) return it->mapping;
+  }
+  return std::nullopt;
+}
+
+std::vector<MappingRule> Database::rules() const {
+  std::scoped_lock lock(mu_);
+  return rules_;
+}
+
+std::uint64_t Database::version() const {
+  std::scoped_lock lock(mu_);
+  return version_;
+}
+
+Status Database::load_config(const Config& config) {
+  GL_ASSIGN_OR_RETURN(std::vector<MappingRule> rules,
+                      rules_from_config(config));
+  std::scoped_lock lock(mu_);
+  for (MappingRule& rule : rules) rules_.push_back(std::move(rule));
+  ++version_;
+  return Status::ok();
+}
+
+}  // namespace griddles::gns

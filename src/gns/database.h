@@ -1,0 +1,53 @@
+// The GNS mapping database: an ordered rule list with glob matching and a
+// version counter for dynamic reconfiguration.
+//
+// The File Multiplexer treats the GNS as read-only; workflow tooling
+// writes rules. Every mutation bumps the version, which clients poll to
+// discover remappings of read-only files mid-run (paper §3.1).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/gns/mapping.h"
+
+namespace griddles::gns {
+
+class Database {
+ public:
+  Database() = default;
+
+  /// Appends a rule (later rules are consulted first, so more-specific
+  /// overrides can be layered on top of defaults).
+  void add_rule(MappingRule rule);
+
+  /// Replaces the whole rule set.
+  void set_rules(std::vector<MappingRule> rules);
+
+  /// Removes every rule with exactly these patterns; returns count.
+  std::size_t remove_rules(const std::string& host_pattern,
+                           const std::string& path_pattern);
+
+  /// Most-recently-added matching rule's mapping. A miss means the FM
+  /// should treat the file as plain local IO.
+  std::optional<FileMapping> lookup(std::string_view host,
+                                    std::string_view path) const;
+
+  std::vector<MappingRule> rules() const;
+
+  /// Monotonic; bumped by every mutation.
+  std::uint64_t version() const;
+
+  /// Loads (appends) all "mapping:*" sections of a config.
+  Status load_config(const Config& config);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<MappingRule> rules_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace griddles::gns

@@ -1,0 +1,122 @@
+#include "src/gns/mapping.h"
+
+#include "src/common/strings.h"
+
+namespace griddles::gns {
+
+std::string_view io_mode_name(IoMode mode) noexcept {
+  switch (mode) {
+    case IoMode::kLocal: return "local";
+    case IoMode::kRemoteCopy: return "remote_copy";
+    case IoMode::kRemoteProxy: return "remote_proxy";
+    case IoMode::kReplicated: return "replicated";
+    case IoMode::kGridBuffer: return "gridbuffer";
+    case IoMode::kAuto: return "auto";
+  }
+  return "local";
+}
+
+Result<IoMode> io_mode_from_name(std::string_view name) {
+  if (name == "local") return IoMode::kLocal;
+  if (name == "remote_copy") return IoMode::kRemoteCopy;
+  if (name == "remote_proxy") return IoMode::kRemoteProxy;
+  if (name == "replicated") return IoMode::kReplicated;
+  if (name == "gridbuffer") return IoMode::kGridBuffer;
+  if (name == "auto") return IoMode::kAuto;
+  return invalid_argument(strings::cat("unknown io mode '", name, "'"));
+}
+
+bool MappingRule::matches(std::string_view host, std::string_view path) const {
+  return strings::glob_match(host_pattern, host) &&
+         strings::glob_match(path_pattern, path);
+}
+
+void encode_mapping(xdr::Encoder& enc, const FileMapping& mapping) {
+  enc.put_u8(static_cast<std::uint8_t>(mapping.mode));
+  enc.put_string(mapping.local_path);
+  enc.put_string(mapping.remote_endpoint);
+  enc.put_string(mapping.remote_path);
+  enc.put_string(mapping.logical_name);
+  enc.put_string(mapping.catalog_endpoint);
+  enc.put_string(mapping.channel);
+  enc.put_string(mapping.buffer_endpoint);
+  enc.put_bool(mapping.cache_enabled);
+  enc.put_u32(mapping.block_size);
+  enc.put_u32(mapping.reader_count);
+  enc.put_string(mapping.record_schema);
+  enc.put_f64(mapping.access_fraction);
+  enc.put_bool(mapping.tail);
+}
+
+Result<FileMapping> decode_mapping(xdr::Decoder& dec) {
+  FileMapping mapping;
+  GL_ASSIGN_OR_RETURN(const std::uint8_t mode, dec.u8());
+  if (mode > static_cast<std::uint8_t>(IoMode::kAuto)) {
+    return invalid_argument("decoded mapping has bad io mode");
+  }
+  mapping.mode = static_cast<IoMode>(mode);
+  GL_ASSIGN_OR_RETURN(mapping.local_path, dec.string());
+  GL_ASSIGN_OR_RETURN(mapping.remote_endpoint, dec.string());
+  GL_ASSIGN_OR_RETURN(mapping.remote_path, dec.string());
+  GL_ASSIGN_OR_RETURN(mapping.logical_name, dec.string());
+  GL_ASSIGN_OR_RETURN(mapping.catalog_endpoint, dec.string());
+  GL_ASSIGN_OR_RETURN(mapping.channel, dec.string());
+  GL_ASSIGN_OR_RETURN(mapping.buffer_endpoint, dec.string());
+  GL_ASSIGN_OR_RETURN(mapping.cache_enabled, dec.boolean());
+  GL_ASSIGN_OR_RETURN(mapping.block_size, dec.u32());
+  GL_ASSIGN_OR_RETURN(mapping.reader_count, dec.u32());
+  GL_ASSIGN_OR_RETURN(mapping.record_schema, dec.string());
+  GL_ASSIGN_OR_RETURN(mapping.access_fraction, dec.f64());
+  GL_ASSIGN_OR_RETURN(mapping.tail, dec.boolean());
+  return mapping;
+}
+
+void encode_rule(xdr::Encoder& enc, const MappingRule& rule) {
+  enc.put_string(rule.host_pattern);
+  enc.put_string(rule.path_pattern);
+  encode_mapping(enc, rule.mapping);
+}
+
+Result<MappingRule> decode_rule(xdr::Decoder& dec) {
+  MappingRule rule;
+  GL_ASSIGN_OR_RETURN(rule.host_pattern, dec.string());
+  GL_ASSIGN_OR_RETURN(rule.path_pattern, dec.string());
+  GL_ASSIGN_OR_RETURN(rule.mapping, decode_mapping(dec));
+  return rule;
+}
+
+Result<std::vector<MappingRule>> rules_from_config(const Config& config) {
+  std::vector<MappingRule> rules;
+  for (const std::string& section : config.sections()) {
+    if (!strings::starts_with(section, "mapping:")) continue;
+    auto key = [&](std::string_view name) {
+      return strings::cat(section, ".", name);
+    };
+    MappingRule rule;
+    GL_ASSIGN_OR_RETURN(rule.host_pattern, config.get_required(key("host")));
+    GL_ASSIGN_OR_RETURN(rule.path_pattern, config.get_required(key("path")));
+    GL_ASSIGN_OR_RETURN(const std::string mode_name,
+                        config.get_required(key("mode")));
+    GL_ASSIGN_OR_RETURN(rule.mapping.mode, io_mode_from_name(mode_name));
+    rule.mapping.local_path = config.get_or(key("local_path"), "");
+    rule.mapping.remote_endpoint = config.get_or(key("remote_endpoint"), "");
+    rule.mapping.remote_path = config.get_or(key("remote_path"), "");
+    rule.mapping.logical_name = config.get_or(key("logical_name"), "");
+    rule.mapping.catalog_endpoint = config.get_or(key("catalog_endpoint"), "");
+    rule.mapping.channel = config.get_or(key("channel"), "");
+    rule.mapping.buffer_endpoint = config.get_or(key("buffer_endpoint"), "");
+    rule.mapping.cache_enabled = config.get_bool_or(key("cache"), true);
+    rule.mapping.block_size = static_cast<std::uint32_t>(
+        config.get_int_or(key("block_size"), 4096));
+    rule.mapping.reader_count = static_cast<std::uint32_t>(
+        config.get_int_or(key("readers"), 1));
+    rule.mapping.record_schema = config.get_or(key("record_schema"), "");
+    rule.mapping.access_fraction =
+        config.get_double_or(key("access_fraction"), 1.0);
+    rule.mapping.tail = config.get_bool_or(key("tail"), false);
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+}  // namespace griddles::gns

@@ -1,0 +1,101 @@
+// GNS mapping model: what the GriddLeS Name Service answers when the File
+// Multiplexer asks "the program on host H opened path P — what do I do?".
+//
+// A mapping selects one of the paper's six IO mechanisms and carries the
+// parameters that mechanism needs. Mappings are stored against (host
+// pattern, path pattern) keys, where patterns use '*'/'?' globs, so one
+// rule can cover a family of files (e.g. every JOB.* intermediate).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/config.h"
+#include "src/common/status.h"
+#include "src/xdr/codec.h"
+
+namespace griddles::gns {
+
+/// The six IO mechanisms of the paper (§2), plus kAuto which defers the
+/// copy-vs-proxy choice for remote files to the FM's AccessAdvisor.
+enum class IoMode : std::uint8_t {
+  kLocal = 0,        // (1) plain local file IO, with optional renaming
+  kRemoteCopy,       // (2)/(5) stage to local disk at open; push back at close
+  kRemoteProxy,      // (3) block-level access through the remote file server
+  kReplicated,       // (4)/(5) resolve a logical name via the replica catalog
+  kGridBuffer,       // (6) direct writer->reader stream channel
+  kAuto,             // remote file; advisor picks copy vs proxy at open time
+};
+
+std::string_view io_mode_name(IoMode mode) noexcept;
+Result<IoMode> io_mode_from_name(std::string_view name);
+
+/// How a mapped file is reached.
+struct FileMapping {
+  IoMode mode = IoMode::kLocal;
+
+  /// kLocal: the real path (identity when empty). Remote modes: the local
+  /// staging path for copies.
+  std::string local_path;
+
+  /// Remote modes: the file-server endpoint ("inproc://dione/fileserver")
+  /// and the path on that server.
+  std::string remote_endpoint;
+  std::string remote_path;
+
+  /// kReplicated: logical file name in the replica catalog, plus the
+  /// catalog endpoint.
+  std::string logical_name;
+  std::string catalog_endpoint;
+
+  /// kGridBuffer: global channel name (the rendezvous key matching the
+  /// writer with its readers) and the buffer server endpoint.
+  std::string channel;
+  std::string buffer_endpoint;
+
+  /// kGridBuffer: spill consumed blocks to a cache file so readers may
+  /// seek backwards / re-read (paper §3.1). Disable for pure streams.
+  bool cache_enabled = true;
+
+  /// kGridBuffer: stream block granularity (paper used 4096).
+  std::uint32_t block_size = 4096;
+
+  /// Readers expected on the channel (broadcast when > 1).
+  std::uint32_t reader_count = 1;
+
+  /// Optional xdr::RecordSchema text for cross-endian record reordering.
+  std::string record_schema;
+
+  /// kAuto: fraction of the file the application is expected to touch
+  /// (drives the copy-vs-proxy heuristic of paper §3.1). 1.0 = all of it.
+  double access_fraction = 1.0;
+
+  /// kLocal reads: the file is being produced by a concurrently-running
+  /// local writer — poll-and-retry at EOF until "<path>.done" appears
+  /// (how a conventional-files workflow overlaps stages on one machine).
+  bool tail = false;
+
+  friend bool operator==(const FileMapping&, const FileMapping&) = default;
+};
+
+/// A database entry: glob patterns over (host, path) plus the mapping.
+struct MappingRule {
+  std::string host_pattern;  // e.g. "jagan" or "*"
+  std::string path_pattern;  // e.g. "/work/JOB.*"
+  FileMapping mapping;
+
+  bool matches(std::string_view host, std::string_view path) const;
+
+  friend bool operator==(const MappingRule&, const MappingRule&) = default;
+};
+
+void encode_mapping(xdr::Encoder& enc, const FileMapping& mapping);
+Result<FileMapping> decode_mapping(xdr::Decoder& dec);
+void encode_rule(xdr::Encoder& enc, const MappingRule& rule);
+Result<MappingRule> decode_rule(xdr::Decoder& dec);
+
+/// Loads rules from a Config: every section named "mapping:<anything>"
+/// becomes one rule, in section order.
+Result<std::vector<MappingRule>> rules_from_config(const Config& config);
+
+}  // namespace griddles::gns

@@ -1,0 +1,86 @@
+// GNS server and client: the RPC face of the mapping database.
+//
+// One GNS may serve a single workflow or many (paper §3.2); it is just a
+// database behind an endpoint. The client caches lookups against the
+// database version so steady-state opens cost no round trip, while a
+// version bump (dynamic remapping) invalidates the cache.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "src/gns/database.h"
+#include "src/net/rpc.h"
+
+namespace griddles::gns {
+
+/// RPC method ids.
+enum class Method : std::uint16_t {
+  kLookup = 1,
+  kAddRule = 2,
+  kRemoveRules = 3,
+  kListRules = 4,
+  kVersion = 5,
+};
+
+/// Serves a Database over RPC.
+class GnsServer {
+ public:
+  /// The database must outlive the server.
+  GnsServer(Database& db, net::Transport& transport, net::Endpoint bind,
+            net::WireFormat format = net::WireFormat::kBinary);
+
+  Status start() { return rpc_.start(); }
+  void stop() { rpc_.stop(); }
+  net::Endpoint endpoint() const { return rpc_.endpoint(); }
+
+ private:
+  Database& db_;
+  net::RpcServer rpc_;
+};
+
+/// Client used by the File Multiplexer (lookups, cached) and by workflow
+/// tooling (rule edits).
+class GnsClient {
+ public:
+  /// `cache_ttl`: wall-clock window during which cached lookups may be
+  /// served without revalidation. Zero disables caching entirely.
+  GnsClient(net::Transport& transport, net::Endpoint server,
+            net::WireFormat format = net::WireFormat::kBinary,
+            std::chrono::milliseconds cache_ttl =
+                std::chrono::milliseconds(200));
+
+  /// Resolves (host, path). nullopt = no mapping: use plain local IO.
+  /// Cached entries are served within the TTL; any observed version bump
+  /// flushes the cache (dynamic remapping, paper §3.1).
+  Result<std::optional<FileMapping>> lookup(const std::string& host,
+                                            const std::string& path);
+
+  Status add_rule(const MappingRule& rule);
+  Result<std::size_t> remove_rules(const std::string& host_pattern,
+                                   const std::string& path_pattern);
+  Result<std::vector<MappingRule>> list_rules();
+  Result<std::uint64_t> version();
+
+  /// Forgets all cached lookups.
+  void invalidate_cache();
+
+  /// Lookups performed without a server round trip (for tests).
+  std::uint64_t cache_hits() const;
+
+ private:
+  net::RpcClient rpc_;
+  const std::chrono::milliseconds cache_ttl_;
+  mutable std::mutex mu_;
+  std::uint64_t cached_version_ = 0;
+  bool have_version_ = false;
+  WallClock::time_point validated_at_{};
+  std::map<std::pair<std::string, std::string>, std::optional<FileMapping>>
+      cache_;
+  std::uint64_t cache_hits_ = 0;
+};
+
+}  // namespace griddles::gns

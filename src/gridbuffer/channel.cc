@@ -1,0 +1,421 @@
+#include "src/gridbuffer/channel.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace griddles::gridbuffer {
+
+Channel::Channel(std::string name, ChannelConfig config,
+                 std::string cache_path)
+    : name_(std::move(name)), config_(config),
+      cache_path_(std::move(cache_path)) {}
+
+Channel::~Channel() {
+  if (cache_fd_ >= 0) {
+    ::close(cache_fd_);
+    std::error_code ec;
+    std::filesystem::remove(cache_path_, ec);  // cache is scratch state
+  }
+}
+
+std::uint64_t Channel::add_reader() {
+  std::scoped_lock lock(mu_);
+  const std::uint64_t id = next_reader_id_++;
+  readers_[id] = Reader{};
+  ++readers_seen_;
+  cv_.notify_all();  // eviction gating may have changed
+  return id;
+}
+
+void Channel::remove_reader(std::uint64_t reader_id) {
+  std::scoped_lock lock(mu_);
+  readers_.erase(reader_id);
+  evict_locked();
+  cv_.notify_all();
+}
+
+std::uint64_t Channel::min_consumed_locked() const {
+  if (readers_seen_ < config_.expected_readers) return 0;
+  if (readers_.empty()) {
+    // Every expected reader came and went: nothing will read again.
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  std::uint64_t lowest = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& [id, reader] : readers_) {
+    lowest = std::min(lowest, reader.consumed_upto);
+  }
+  return lowest;
+}
+
+void Channel::evict_locked() {
+  const std::uint64_t safe = min_consumed_locked();
+  auto it = block_sizes_.lower_bound(evicted_upto_);
+  while (it != block_sizes_.end() &&
+         it->first + it->second <= safe) {
+    const auto block = blocks_.find(it->first);
+    if (block != blocks_.end()) {
+      table_bytes_ -= block->second.size();
+      blocks_.erase(block);
+    }
+    evicted_upto_ = it->first + it->second;
+    ++it;
+  }
+}
+
+Status Channel::cache_write_locked(std::uint64_t offset, ByteSpan data) {
+  if (cache_fd_ < 0) {
+    cache_fd_ = ::open(cache_path_.c_str(), O_RDWR | O_CREAT | O_TRUNC,
+                       0644);
+    if (cache_fd_ < 0) {
+      return io_error(strings::cat("grid buffer cache ", cache_path_, ": ",
+                                   std::strerror(errno)));
+    }
+  }
+  std::size_t put = 0;
+  while (put < data.size()) {
+    const ssize_t n = ::pwrite(cache_fd_, data.data() + put,
+                               data.size() - put,
+                               static_cast<off_t>(offset + put));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io_error(strings::cat("grid buffer cache write: ",
+                                   std::strerror(errno)));
+    }
+    put += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Result<Bytes> Channel::cache_read_locked(std::uint64_t offset,
+                                         std::uint32_t length) const {
+  if (cache_fd_ < 0) {
+    return out_of_range(
+        strings::cat("channel ", name_, ": block evicted and no cache file"));
+  }
+  Bytes out(length);
+  std::size_t got = 0;
+  while (got < length) {
+    const ssize_t n = ::pread(cache_fd_, out.data() + got, length - got,
+                              static_cast<off_t>(offset + got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io_error(strings::cat("grid buffer cache read: ",
+                                   std::strerror(errno)));
+    }
+    if (n == 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  out.resize(got);
+  return out;
+}
+
+Status Channel::write(std::uint64_t offset, ByteSpan data) {
+  std::unique_lock lock(mu_);
+  if (shutdown_) return aborted_error("grid buffer shutting down");
+  if (writer_closed_) {
+    return failed_precondition(
+        strings::cat("channel ", name_, ": writer already closed"));
+  }
+  if (offset % config_.block_size != 0) {
+    return invalid_argument("grid buffer write not block-aligned");
+  }
+  if (data.size() > config_.block_size) {
+    return invalid_argument("grid buffer write larger than block size");
+  }
+
+  // Backpressure / spill when the table is at capacity.
+  while (table_bytes_ + data.size() > config_.max_buffered_bytes &&
+         !blocks_.empty() && !shutdown_) {
+    if (config_.cache_enabled) {
+      // Every resident block is already in the cache (write-through);
+      // drop the lowest-offset resident block from the table.
+      const auto oldest = std::min_element(
+          blocks_.begin(), blocks_.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      table_bytes_ -= oldest->second.size();
+      blocks_.erase(oldest);
+    } else {
+      evict_locked();
+      if (table_bytes_ + data.size() <= config_.max_buffered_bytes) break;
+      cv_.wait(lock);
+      if (writer_closed_) {
+        return failed_precondition("writer closed while blocked");
+      }
+    }
+  }
+  if (shutdown_) return aborted_error("grid buffer shutting down");
+
+  if (config_.cache_enabled) {
+    GL_RETURN_IF_ERROR(cache_write_locked(offset, data));
+  }
+
+  const auto size_it = block_sizes_.find(offset);
+  if (size_it != block_sizes_.end()) {
+    if (data.size() < size_it->second) {
+      return invalid_argument(
+          "grid buffer block rewrite must extend the block");
+    }
+    const auto existing = blocks_.find(offset);
+    if (existing != blocks_.end()) {
+      table_bytes_ -= existing->second.size();
+    }
+    size_it->second = static_cast<std::uint32_t>(data.size());
+  } else {
+    block_sizes_[offset] = static_cast<std::uint32_t>(data.size());
+  }
+  blocks_[offset] = Bytes(data.begin(), data.end());
+  table_bytes_ += data.size();
+  frontier_ = std::max(frontier_, offset + data.size());
+
+  lock.unlock();
+  cv_.notify_all();
+  return Status::ok();
+}
+
+void Channel::close_writer() {
+  {
+    std::scoped_lock lock(mu_);
+    writer_closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Channel::writer_closed() const {
+  std::scoped_lock lock(mu_);
+  return writer_closed_;
+}
+
+Result<ReadResult> Channel::read(std::uint64_t reader_id,
+                                 std::uint64_t offset, std::uint32_t length,
+                                 std::uint64_t deadline_ms) {
+  const auto deadline =
+      WallClock::now() + std::chrono::milliseconds(
+                             deadline_ms == 0 ? 0 : deadline_ms);
+  std::unique_lock lock(mu_);
+  const auto reader_it = readers_.find(reader_id);
+  if (reader_it == readers_.end()) {
+    return not_found(strings::cat("channel ", name_, ": unknown reader"));
+  }
+
+  while (true) {
+    if (shutdown_) return aborted_error("grid buffer shutting down");
+    if (length == 0) {
+      return ReadResult{{}, writer_closed_ && offset >= frontier_, frontier_};
+    }
+
+    const std::uint64_t bs = config_.block_size;
+    const std::uint64_t start = offset / bs * bs;
+    const auto size_it = block_sizes_.find(start);
+    const bool covered = size_it != block_sizes_.end() &&
+                         offset - start < size_it->second;
+    if (covered) {
+      // Serve as much contiguous data as is already available, crossing
+      // block boundaries, up to `length` — one RPC can drain a whole
+      // run of blocks instead of one block per round trip.
+      ReadResult result;
+      result.frontier = frontier_;
+      std::uint64_t position = offset;
+      while (result.data.size() < length) {
+        const std::uint64_t block_start = position / bs * bs;
+        const auto run_it = block_sizes_.find(block_start);
+        if (run_it == block_sizes_.end() ||
+            position - block_start >= run_it->second) {
+          break;  // next block not (fully enough) written yet
+        }
+        const std::uint64_t in_block = position - block_start;
+        const std::uint32_t take = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(length - result.data.size(),
+                                    run_it->second - in_block));
+        const auto block = blocks_.find(block_start);
+        if (block != blocks_.end()) {
+          result.data.insert(
+              result.data.end(),
+              block->second.begin() + static_cast<std::ptrdiff_t>(in_block),
+              block->second.begin() +
+                  static_cast<std::ptrdiff_t>(in_block + take));
+        } else if (config_.cache_enabled) {
+          GL_ASSIGN_OR_RETURN(const Bytes cached,
+                              cache_read_locked(position, take));
+          result.data.insert(result.data.end(), cached.begin(),
+                             cached.end());
+          if (cached.size() < take) break;  // short cache read: stop here
+        } else {
+          if (!result.data.empty()) break;  // serve what we have
+          return out_of_range(strings::cat(
+              "channel ", name_,
+              ": block consumed and re-read needs a cache file (offset ",
+              position, ")"));
+        }
+        position += take;
+      }
+      auto& reader = readers_[reader_id];
+      reader.consumed_upto =
+          std::max(reader.consumed_upto, offset + result.data.size());
+      evict_locked();
+      lock.unlock();
+      cv_.notify_all();  // space may have been freed for the writer
+      return result;
+    }
+
+    if (offset >= frontier_) {
+      if (writer_closed_) {
+        return ReadResult{{}, true, frontier_};
+      }
+    } else if (writer_closed_) {
+      // A hole below the frontier that can never be filled: sparse
+      // semantics, serve zeros up to the next written extent.
+      const auto next = block_sizes_.upper_bound(offset);
+      const std::uint64_t zeros_end =
+          std::min(frontier_, next == block_sizes_.end()
+                                  ? frontier_
+                                  : next->first);
+      const std::uint32_t take = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(length, zeros_end - offset));
+      if (take > 0) {
+        ReadResult result;
+        result.frontier = frontier_;
+        result.data.assign(take, std::byte{0});
+        auto& reader = readers_[reader_id];
+        reader.consumed_upto =
+            std::max(reader.consumed_upto, offset + take);
+        evict_locked();
+        return result;
+      }
+      // zeros_end == offset: offset sits exactly at a written block start
+      // that was already handled above; fall through to wait (should not
+      // happen once the writer is closed).
+      return internal_error("grid buffer read stuck at written block");
+    }
+
+    // Wait for the writer (or for an out-of-order block to land).
+    if (deadline_ms == 0) {
+      cv_.wait(lock);
+    } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return timeout_error(strings::cat("channel ", name_,
+                                        ": read timed out at offset ",
+                                        offset));
+    }
+  }
+}
+
+Result<ReadResult> Channel::stat(bool wait_for_eof,
+                                 std::uint64_t deadline_ms) {
+  const auto deadline =
+      WallClock::now() + std::chrono::milliseconds(
+                             deadline_ms == 0 ? 0 : deadline_ms);
+  std::unique_lock lock(mu_);
+  while (wait_for_eof && !writer_closed_ && !shutdown_) {
+    if (deadline_ms == 0) {
+      cv_.wait(lock);
+    } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return timeout_error(
+          strings::cat("channel ", name_, ": stat timed out awaiting eof"));
+    }
+  }
+  if (shutdown_) return aborted_error("grid buffer shutting down");
+  return ReadResult{{}, writer_closed_, frontier_};
+}
+
+void Channel::shutdown() {
+  {
+    std::scoped_lock lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::uint64_t Channel::buffered_bytes() const {
+  std::scoped_lock lock(mu_);
+  return table_bytes_;
+}
+
+std::size_t Channel::buffered_blocks() const {
+  std::scoped_lock lock(mu_);
+  return blocks_.size();
+}
+
+ChannelStore::ChannelStore(std::string cache_dir)
+    : cache_dir_(std::move(cache_dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir_, ec);
+}
+
+namespace {
+std::string sanitize_for_filename(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '/' || c == '\\' || c == ':') c = '_';
+  }
+  return out;
+}
+}  // namespace
+
+Result<std::shared_ptr<Channel>> ChannelStore::open(
+    const std::string& name, const ChannelConfig& config) {
+  std::scoped_lock lock(mu_);
+  const auto it = channels_.find(name);
+  if (it != channels_.end()) {
+    const ChannelConfig& existing = it->second->config();
+    if (existing.block_size != config.block_size ||
+        existing.cache_enabled != config.cache_enabled) {
+      return failed_precondition(
+          strings::cat("channel ", name,
+                       " already exists with different parameters"));
+    }
+    return it->second;
+  }
+  const std::string cache_path =
+      (std::filesystem::path(cache_dir_) /
+       (sanitize_for_filename(name) + ".cache"))
+          .string();
+  auto channel = std::make_shared<Channel>(name, config, cache_path);
+  channels_[name] = channel;
+  GL_LOG(kDebug, "grid buffer channel created: ", name);
+  return channel;
+}
+
+Result<std::shared_ptr<Channel>> ChannelStore::find(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  const auto it = channels_.find(name);
+  if (it == channels_.end()) {
+    return not_found(strings::cat("no grid buffer channel ", name));
+  }
+  return it->second;
+}
+
+Status ChannelStore::remove(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  const auto it = channels_.find(name);
+  if (it == channels_.end()) {
+    return not_found(strings::cat("no grid buffer channel ", name));
+  }
+  if (!it->second->writer_closed()) {
+    return failed_precondition(
+        strings::cat("channel ", name, " still has an active writer"));
+  }
+  channels_.erase(it);
+  return Status::ok();
+}
+
+void ChannelStore::shutdown_all() {
+  std::scoped_lock lock(mu_);
+  for (auto& [name, channel] : channels_) channel->shutdown();
+}
+
+std::vector<std::string> ChannelStore::channel_names() const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(channels_.size());
+  for (const auto& [name, channel] : channels_) names.push_back(name);
+  return names;
+}
+
+}  // namespace griddles::gridbuffer

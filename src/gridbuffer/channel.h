@@ -1,0 +1,158 @@
+// Grid Buffer channel store: the server-side state of the paper's direct
+// writer->reader coupling (§3.1, §4).
+//
+// Data blocks live in a hash table ("data is stored in a hash table
+// rather than a sequential buffer") so writes and reads may be out of
+// order. As every registered reader consumes a block it is deleted from
+// the table; when the channel has a cache file, consumed (or overflowed)
+// blocks survive there, which is what lets a reader seek backwards and
+// re-read an already-streamed region — transparently, as DARLAM does in
+// §5.3. Reads past the written frontier block until the writer produces
+// the data or closes the channel.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/clock.h"
+#include "src/common/status.h"
+
+namespace griddles::gridbuffer {
+
+/// Channel parameters, fixed at creation (first open).
+struct ChannelConfig {
+  std::uint32_t block_size = 4096;   // the paper's typical write size
+  bool cache_enabled = true;
+  std::uint32_t expected_readers = 1;
+  /// Hash-table occupancy (bytes) above which blocks spill to the cache
+  /// file (cache on) or the writer blocks (cache off).
+  std::uint64_t max_buffered_bytes = 16u << 20;
+};
+
+/// Result of a read: data (possibly shorter than asked), or EOF.
+struct ReadResult {
+  Bytes data;
+  bool eof = false;
+  std::uint64_t frontier = 0;  // bytes written so far (high-water mark)
+};
+
+/// One writer-to-readers stream. Thread-safe; reads block.
+class Channel {
+ public:
+  Channel(std::string name, ChannelConfig config, std::string cache_path);
+  ~Channel();
+
+  const std::string& name() const noexcept { return name_; }
+  const ChannelConfig& config() const noexcept { return config_; }
+
+  /// Registers a reader; the id scopes consumption tracking.
+  std::uint64_t add_reader();
+  void remove_reader(std::uint64_t reader_id);
+
+  /// Stores one block. `offset` must be block-aligned and `data` no
+  /// longer than block_size. Blocks (backpressure) when the table is full
+  /// and nothing can spill. Rewriting a block with more data extends it.
+  Status write(std::uint64_t offset, ByteSpan data);
+
+  /// Declares end-of-stream; wakes blocked readers.
+  void close_writer();
+  bool writer_closed() const;
+
+  /// Reads up to `length` bytes at `offset` for `reader_id`, blocking
+  /// until data exists, the writer closes (eof), `deadline_ms` wall
+  /// milliseconds elapse (kTimeout; 0 = wait forever), or shutdown().
+  Result<ReadResult> read(std::uint64_t reader_id, std::uint64_t offset,
+                          std::uint32_t length, std::uint64_t deadline_ms);
+
+  /// Stream status; with `wait_for_eof` blocks until the writer closes.
+  Result<ReadResult> stat(bool wait_for_eof, std::uint64_t deadline_ms);
+
+  /// Wakes every blocked operation with kAborted (service shutdown).
+  void shutdown();
+
+  /// Bytes currently resident in the hash table (tests/metrics).
+  std::uint64_t buffered_bytes() const;
+  /// Blocks currently resident in the hash table.
+  std::size_t buffered_blocks() const;
+
+ private:
+  struct Reader {
+    std::uint64_t consumed_upto = 0;  // stream offset fully consumed
+  };
+
+  /// Lowest offset any present-or-future reader still needs. Zero until
+  /// expected_readers have registered (so an early writer can't outrun
+  /// late-joining readers).
+  std::uint64_t min_consumed_locked() const;
+
+  /// Drops fully-consumed blocks from the table; spills to cache first
+  /// when enabled. Called with mu_ held.
+  void evict_locked();
+
+  /// Appends `data` at `offset` in the cache file.
+  Status cache_write_locked(std::uint64_t offset, ByteSpan data);
+  /// Reads `length` bytes at `offset` from the cache file.
+  Result<Bytes> cache_read_locked(std::uint64_t offset,
+                                  std::uint32_t length) const;
+
+  const std::string name_;
+  const ChannelConfig config_;
+  const std::string cache_path_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+
+  std::unordered_map<std::uint64_t, Bytes> blocks_;   // block start -> data
+  std::map<std::uint64_t, std::uint32_t> block_sizes_;  // every write, ordered
+  std::uint64_t table_bytes_ = 0;
+  std::uint64_t evicted_upto_ = 0;  // eviction scan resume point
+  std::uint64_t frontier_ = 0;
+  bool writer_closed_ = false;
+  bool shutdown_ = false;
+
+  std::map<std::uint64_t, Reader> readers_;
+  std::uint64_t next_reader_id_ = 1;
+  std::uint32_t readers_seen_ = 0;
+
+  mutable int cache_fd_ = -1;  // lazily opened
+};
+
+/// The channel registry a Grid Buffer server owns.
+class ChannelStore {
+ public:
+  /// `cache_dir`: directory for per-channel cache files.
+  explicit ChannelStore(std::string cache_dir);
+
+  /// Finds or creates a channel. The first creator's config sticks; a
+  /// later open with a different block size fails.
+  Result<std::shared_ptr<Channel>> open(const std::string& name,
+                                        const ChannelConfig& config);
+
+  /// Finds an existing channel.
+  Result<std::shared_ptr<Channel>> find(const std::string& name);
+
+  /// Removes a drained channel (writer closed, no readers) to reclaim
+  /// memory; kFailedPrecondition if still active.
+  Status remove(const std::string& name);
+
+  /// Shuts every channel down (wakes all blocked ops).
+  void shutdown_all();
+
+  std::vector<std::string> channel_names() const;
+
+ private:
+  const std::string cache_dir_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Channel>> channels_;
+};
+
+}  // namespace griddles::gridbuffer

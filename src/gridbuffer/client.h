@@ -1,0 +1,156 @@
+// Grid Buffer clients (paper Figure 4's "Grid Buffer Client").
+//
+// The writer pipelines blocks through a bounded queue drained by a
+// background flusher thread, so application WRITE calls return as soon as
+// the block is queued — the asynchronous-write latency masking of §3.1.
+// The reader issues blocking reads; its cursor is purely local, so SEEK
+// costs nothing until the next read.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "src/common/queue.h"
+#include "src/gridbuffer/server.h"
+#include "src/net/rpc.h"
+
+namespace griddles::gridbuffer {
+
+class GridBufferWriter {
+ public:
+  struct Options {
+    ChannelConfig channel;
+    /// Blocks in flight before write() exerts backpressure.
+    std::size_t window_blocks = 32;
+    /// Concurrent flusher connections. Because each flusher RPCs
+    /// synchronously, this bounds the blocks concurrently in flight on
+    /// the wire — the knob that makes small-block buffer streams
+    /// latency-limited (~threads * block / RTT), as the paper observed
+    /// on WAN links (§5.3). Out-of-order arrival is what the server's
+    /// hash table exists for (§4).
+    int flusher_threads = 4;
+    /// Synchronous mode: every write RPCs inline (for ablation benches).
+    bool synchronous = false;
+    /// Wire format — kSoap reproduces the paper's Web-Services transport
+    /// (must match the server's).
+    net::WireFormat wire = net::WireFormat::kBinary;
+  };
+
+  /// Opens (creating if needed) `channel` for writing.
+  static Result<std::unique_ptr<GridBufferWriter>> open(
+      net::Transport& transport, const net::Endpoint& server,
+      const std::string& channel, Options options);
+  static Result<std::unique_ptr<GridBufferWriter>> open(
+      net::Transport& transport, const net::Endpoint& server,
+      const std::string& channel) {
+    return open(transport, server, channel, Options{});
+  }
+
+  ~GridBufferWriter();
+
+  GridBufferWriter(const GridBufferWriter&) = delete;
+  GridBufferWriter& operator=(const GridBufferWriter&) = delete;
+
+  /// Appends bytes to the stream (buffered into block_size blocks).
+  Status write(ByteSpan data);
+
+  /// Sends any buffered partial block and waits for the pipeline to
+  /// drain.
+  Status flush();
+
+  /// Flushes and publishes end-of-stream. Idempotent.
+  Status close();
+
+  std::uint64_t bytes_written() const noexcept { return cursor_; }
+  const std::string& channel() const noexcept { return channel_; }
+
+ private:
+  GridBufferWriter(net::Transport& transport, net::Endpoint server,
+                   std::string channel, Options options);
+
+  Status send_block(std::uint64_t offset, Bytes data);
+  void flusher_main();
+  Status pipeline_error() const;
+
+  net::Transport& transport_;
+  net::Endpoint server_;
+  std::string channel_;
+  Options options_;
+
+  net::RpcClient control_;  // open/close + synchronous writes
+
+  Bytes pending_;              // partial block being assembled
+  std::uint64_t block_start_ = 0;  // stream offset of pending_[0]
+  std::uint64_t cursor_ = 0;       // total bytes accepted
+  bool closed_ = false;
+
+  struct QueuedBlock {
+    std::uint64_t offset;
+    Bytes data;
+  };
+  BoundedQueue<QueuedBlock> queue_;
+  std::vector<std::thread> flushers_;
+  std::atomic<std::uint64_t> acked_blocks_{0};
+  std::atomic<std::uint64_t> queued_blocks_{0};
+  mutable std::mutex error_mu_;
+  Status flusher_status_;
+};
+
+class GridBufferReader {
+ public:
+  struct Options {
+    ChannelConfig channel;
+    /// Per-read server-side blocking budget (wall ms; 0 = forever).
+    std::uint64_t read_deadline_ms = 120000;
+    /// Wire format (must match the server's).
+    net::WireFormat wire = net::WireFormat::kBinary;
+  };
+
+  /// Registers as a reader of `channel` (creating it if the writer has
+  /// not opened it yet).
+  static Result<std::unique_ptr<GridBufferReader>> open(
+      net::Transport& transport, const net::Endpoint& server,
+      const std::string& channel, Options options);
+  static Result<std::unique_ptr<GridBufferReader>> open(
+      net::Transport& transport, const net::Endpoint& server,
+      const std::string& channel) {
+    return open(transport, server, channel, Options{});
+  }
+
+  ~GridBufferReader();
+
+  GridBufferReader(const GridBufferReader&) = delete;
+  GridBufferReader& operator=(const GridBufferReader&) = delete;
+
+  /// Reads at the cursor; blocks until data or EOF. 0 = end of stream.
+  Result<std::size_t> read(MutableByteSpan out);
+
+  /// Moves the cursor. kEnd blocks until the writer closes (the final
+  /// size is unknowable earlier).
+  Result<std::uint64_t> seek(std::int64_t offset, std::uint8_t whence);
+
+  std::uint64_t tell() const noexcept { return cursor_; }
+
+  /// Final stream size; blocks until the writer closes.
+  Result<std::uint64_t> size();
+
+  Status close();
+
+  const std::string& channel() const noexcept { return channel_; }
+
+ private:
+  GridBufferReader(net::Transport& transport, net::Endpoint server,
+                   std::string channel, Options options);
+
+  net::RpcClient rpc_;
+  std::string channel_;
+  Options options_;
+  std::uint64_t reader_id_ = 0;
+  std::uint64_t cursor_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace griddles::gridbuffer

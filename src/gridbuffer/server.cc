@@ -1,0 +1,144 @@
+#include "src/gridbuffer/server.h"
+
+#include "src/common/strings.h"
+#include "src/xdr/codec.h"
+
+namespace griddles::gridbuffer {
+
+void encode_channel_config(xdr::Encoder& enc, const ChannelConfig& config) {
+  enc.put_u32(config.block_size);
+  enc.put_bool(config.cache_enabled);
+  enc.put_u32(config.expected_readers);
+  enc.put_u64(config.max_buffered_bytes);
+}
+
+Result<ChannelConfig> decode_channel_config(xdr::Decoder& dec) {
+  ChannelConfig config;
+  GL_ASSIGN_OR_RETURN(config.block_size, dec.u32());
+  GL_ASSIGN_OR_RETURN(config.cache_enabled, dec.boolean());
+  GL_ASSIGN_OR_RETURN(config.expected_readers, dec.u32());
+  GL_ASSIGN_OR_RETURN(config.max_buffered_bytes, dec.u64());
+  if (config.block_size == 0) {
+    return invalid_argument("channel block size must be positive");
+  }
+  return config;
+}
+
+GridBufferServer::GridBufferServer(std::string cache_dir,
+                                   net::Transport& transport,
+                                   net::Endpoint bind,
+                                   net::WireFormat format)
+    : store_(std::move(cache_dir)),
+      rpc_(transport, std::move(bind), format) {
+  register_handlers();
+}
+
+GridBufferServer::~GridBufferServer() { stop(); }
+
+void GridBufferServer::stop() {
+  store_.shutdown_all();
+  rpc_.stop();
+}
+
+void GridBufferServer::register_handlers() {
+  rpc_.register_method(
+      method_id(Method::kOpenWrite),
+      [this](ByteSpan request, const net::RpcContext&) -> Result<Bytes> {
+        xdr::Decoder dec(request);
+        GL_ASSIGN_OR_RETURN(const std::string channel, dec.string());
+        GL_ASSIGN_OR_RETURN(const ChannelConfig config,
+                            decode_channel_config(dec));
+        GL_ASSIGN_OR_RETURN(auto chan, store_.open(channel, config));
+        if (chan->writer_closed()) {
+          return failed_precondition(
+              strings::cat("channel ", channel, " was already closed"));
+        }
+        return Bytes{};
+      });
+  rpc_.register_method(
+      method_id(Method::kWrite),
+      [this](ByteSpan request, const net::RpcContext&) -> Result<Bytes> {
+        xdr::Decoder dec(request);
+        GL_ASSIGN_OR_RETURN(const std::string channel, dec.string());
+        GL_ASSIGN_OR_RETURN(const std::uint64_t offset, dec.u64());
+        GL_ASSIGN_OR_RETURN(const Bytes data, dec.bytes());
+        GL_ASSIGN_OR_RETURN(auto chan, store_.find(channel));
+        GL_RETURN_IF_ERROR(chan->write(offset, data));
+        return Bytes{};
+      });
+  rpc_.register_method(
+      method_id(Method::kCloseWrite),
+      [this](ByteSpan request, const net::RpcContext&) -> Result<Bytes> {
+        xdr::Decoder dec(request);
+        GL_ASSIGN_OR_RETURN(const std::string channel, dec.string());
+        GL_ASSIGN_OR_RETURN(auto chan, store_.find(channel));
+        chan->close_writer();
+        return Bytes{};
+      });
+  rpc_.register_method(
+      method_id(Method::kOpenRead),
+      [this](ByteSpan request, const net::RpcContext&) -> Result<Bytes> {
+        xdr::Decoder dec(request);
+        GL_ASSIGN_OR_RETURN(const std::string channel, dec.string());
+        GL_ASSIGN_OR_RETURN(const ChannelConfig config,
+                            decode_channel_config(dec));
+        GL_ASSIGN_OR_RETURN(auto chan, store_.open(channel, config));
+        xdr::Encoder enc;
+        enc.put_u64(chan->add_reader());
+        return std::move(enc).take();
+      });
+  rpc_.register_method(
+      method_id(Method::kRead),
+      [this](ByteSpan request, const net::RpcContext&) -> Result<Bytes> {
+        xdr::Decoder dec(request);
+        GL_ASSIGN_OR_RETURN(const std::string channel, dec.string());
+        GL_ASSIGN_OR_RETURN(const std::uint64_t reader_id, dec.u64());
+        GL_ASSIGN_OR_RETURN(const std::uint64_t offset, dec.u64());
+        GL_ASSIGN_OR_RETURN(const std::uint32_t length, dec.u32());
+        GL_ASSIGN_OR_RETURN(const std::uint64_t deadline_ms, dec.u64());
+        GL_ASSIGN_OR_RETURN(auto chan, store_.find(channel));
+        GL_ASSIGN_OR_RETURN(const ReadResult result,
+                            chan->read(reader_id, offset, length,
+                                       deadline_ms));
+        xdr::Encoder enc;
+        enc.put_bool(result.eof);
+        enc.put_u64(result.frontier);
+        enc.put_bytes(result.data);
+        return std::move(enc).take();
+      });
+  rpc_.register_method(
+      method_id(Method::kCloseRead),
+      [this](ByteSpan request, const net::RpcContext&) -> Result<Bytes> {
+        xdr::Decoder dec(request);
+        GL_ASSIGN_OR_RETURN(const std::string channel, dec.string());
+        GL_ASSIGN_OR_RETURN(const std::uint64_t reader_id, dec.u64());
+        GL_ASSIGN_OR_RETURN(auto chan, store_.find(channel));
+        chan->remove_reader(reader_id);
+        return Bytes{};
+      });
+  rpc_.register_method(
+      method_id(Method::kStat),
+      [this](ByteSpan request, const net::RpcContext&) -> Result<Bytes> {
+        xdr::Decoder dec(request);
+        GL_ASSIGN_OR_RETURN(const std::string channel, dec.string());
+        GL_ASSIGN_OR_RETURN(const bool wait_for_eof, dec.boolean());
+        GL_ASSIGN_OR_RETURN(const std::uint64_t deadline_ms, dec.u64());
+        GL_ASSIGN_OR_RETURN(auto chan, store_.find(channel));
+        GL_ASSIGN_OR_RETURN(const ReadResult result,
+                            chan->stat(wait_for_eof, deadline_ms));
+        xdr::Encoder enc;
+        enc.put_bool(result.eof);
+        enc.put_u64(result.frontier);
+        return std::move(enc).take();
+      });
+  rpc_.register_method(
+      method_id(Method::kRemove),
+      [this](ByteSpan request, const net::RpcContext&) -> Result<Bytes> {
+        xdr::Decoder dec(request);
+        GL_ASSIGN_OR_RETURN(const std::string channel, dec.string());
+        GL_RETURN_IF_ERROR(store_.remove(channel));
+        return Bytes{};
+      });
+}
+
+}  // namespace griddles::gridbuffer

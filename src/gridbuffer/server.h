@@ -1,0 +1,61 @@
+// GridBufferServer: the RPC face of a ChannelStore (paper Figure 4's
+// "Grid Buffer Server").
+//
+// The paper implemented this as a Web Service reached by SOAP messages;
+// construct with WireFormat::kSoap to reproduce that wire format, or the
+// default binary framing for the fast path (the ablation bench compares
+// the two).
+#pragma once
+
+#include <cstdint>
+
+#include "src/gridbuffer/channel.h"
+#include "src/net/rpc.h"
+#include "src/xdr/codec.h"
+
+namespace griddles::gridbuffer {
+
+enum class Method : std::uint16_t {
+  kOpenWrite = 1,   // (channel, block_size, cache, readers, max_bytes)
+  kWrite = 2,       // (channel, offset, bytes)
+  kCloseWrite = 3,  // (channel)
+  kOpenRead = 4,    // (channel, block_size, cache, readers, max_bytes)
+                    //   -> reader_id
+  kRead = 5,        // (channel, reader_id, offset, length, deadline_ms)
+                    //   -> eof, frontier, bytes
+  kCloseRead = 6,   // (channel, reader_id)
+  kStat = 7,        // (channel, wait_for_eof, deadline_ms) -> eof, frontier
+  kRemove = 8,      // (channel)
+};
+
+constexpr std::uint16_t method_id(Method m) {
+  return static_cast<std::uint16_t>(m);
+}
+
+void encode_channel_config(xdr::Encoder& enc, const ChannelConfig& config);
+Result<ChannelConfig> decode_channel_config(xdr::Decoder& dec);
+
+class GridBufferServer {
+ public:
+  /// `cache_dir` holds per-channel cache files.
+  GridBufferServer(std::string cache_dir, net::Transport& transport,
+                   net::Endpoint bind,
+                   net::WireFormat format = net::WireFormat::kBinary);
+  ~GridBufferServer();
+
+  Status start() { return rpc_.start(); }
+
+  /// Wakes blocked readers/writers, then stops the RPC server.
+  void stop();
+
+  net::Endpoint endpoint() const { return rpc_.endpoint(); }
+  ChannelStore& store() noexcept { return store_; }
+
+ private:
+  void register_handlers();
+
+  ChannelStore store_;
+  net::RpcServer rpc_;
+};
+
+}  // namespace griddles::gridbuffer

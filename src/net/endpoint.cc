@@ -1,0 +1,65 @@
+#include "src/net/endpoint.h"
+
+#include "src/common/strings.h"
+
+namespace griddles::net {
+
+Result<Endpoint> Endpoint::parse(std::string_view text) {
+  const std::size_t scheme_end = text.find("://");
+  if (scheme_end == std::string_view::npos || scheme_end == 0) {
+    return invalid_argument(
+        strings::cat("endpoint '", text, "': missing scheme://"));
+  }
+  Endpoint ep;
+  ep.scheme = std::string(text.substr(0, scheme_end));
+  std::string_view rest = text.substr(scheme_end + 3);
+  if (ep.scheme == "tcp") {
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string_view::npos) {
+      return invalid_argument(
+          strings::cat("tcp endpoint '", text, "': missing :port"));
+    }
+    ep.host = std::string(rest.substr(0, colon));
+    ep.service = std::string(rest.substr(colon + 1));
+  } else {
+    const std::size_t slash = rest.find('/');
+    if (slash == std::string_view::npos) {
+      return invalid_argument(
+          strings::cat("endpoint '", text, "': expected host/service"));
+    }
+    ep.host = std::string(rest.substr(0, slash));
+    ep.service = std::string(rest.substr(slash + 1));
+  }
+  if (ep.host.empty() || ep.service.empty()) {
+    return invalid_argument(
+        strings::cat("endpoint '", text, "': empty host or service"));
+  }
+  if (ep.is_tcp()) {
+    GL_RETURN_IF_ERROR(ep.port().status());
+  }
+  return ep;
+}
+
+std::string Endpoint::to_string() const {
+  if (is_tcp()) return strings::cat(scheme, "://", host, ":", service);
+  return strings::cat(scheme, "://", host, "/", service);
+}
+
+Result<int> Endpoint::port() const {
+  const auto p = strings::parse_int(service);
+  if (!p || *p < 0 || *p > 65535) {
+    return invalid_argument(
+        strings::cat("endpoint ", to_string(), ": bad port"));
+  }
+  return static_cast<int>(*p);
+}
+
+Endpoint inproc_endpoint(std::string host, std::string service) {
+  return Endpoint{"inproc", std::move(host), std::move(service)};
+}
+
+Endpoint tcp_endpoint(std::string host, int port) {
+  return Endpoint{"tcp", std::move(host), std::to_string(port)};
+}
+
+}  // namespace griddles::net

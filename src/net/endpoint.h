@@ -1,0 +1,43 @@
+// Endpoint naming: "scheme://host/service".
+//
+//   inproc://dione/gns          — in-process network, host "dione"
+//   tcp://127.0.0.1:9310        — real loopback TCP (service is the port)
+//
+// The in-process network models the paper's testbed: hosts are the Table 1
+// machine names, and host pairs carry a LinkModel (latency/bandwidth).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace griddles::net {
+
+struct Endpoint {
+  std::string scheme;   // "inproc" or "tcp"
+  std::string host;     // machine name, or IP for tcp
+  std::string service;  // service name, or decimal port for tcp
+
+  /// Parses "scheme://host/service" or "tcp://host:port".
+  static Result<Endpoint> parse(std::string_view text);
+
+  std::string to_string() const;
+
+  bool is_tcp() const noexcept { return scheme == "tcp"; }
+  bool is_inproc() const noexcept { return scheme == "inproc"; }
+
+  /// TCP port, when is_tcp().
+  Result<int> port() const;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+  friend bool operator<(const Endpoint& a, const Endpoint& b) {
+    return a.to_string() < b.to_string();
+  }
+};
+
+/// Convenience constructors.
+Endpoint inproc_endpoint(std::string host, std::string service);
+Endpoint tcp_endpoint(std::string host, int port);
+
+}  // namespace griddles::net

@@ -1,0 +1,87 @@
+// In-process network: a modelled multi-host network inside one process.
+//
+// An InProcNetwork owns a registry of listening services and a LinkTable.
+// Each InProcTransport is bound to a *host identity* (one of the testbed
+// machine names); messages between two hosts are delayed according to the
+// link model for that pair, using the network's Clock. Under a
+// ScaledClock this replays WAN behaviour at laptop speed; under a
+// RealClock with unlimited links it is just a fast intra-process channel.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/net/link_model.h"
+#include "src/net/transport.h"
+
+namespace griddles::net {
+
+namespace internal {
+class InProcListenerState;
+class InProcListener;
+}  // namespace internal
+
+class InProcNetwork {
+ public:
+  /// `clock` must outlive the network and every transport created on it.
+  explicit InProcNetwork(Clock& clock);
+  ~InProcNetwork();
+
+  InProcNetwork(const InProcNetwork&) = delete;
+  InProcNetwork& operator=(const InProcNetwork&) = delete;
+
+  Clock& clock() noexcept { return clock_; }
+  LinkTable& links() noexcept { return links_; }
+
+  /// Creates a transport that originates traffic from `host`.
+  std::unique_ptr<Transport> transport(std::string host);
+
+  /// Messages queued per connection direction before send() blocks.
+  void set_channel_capacity(std::size_t messages);
+
+ private:
+  friend class InProcTransport;
+  friend class internal::InProcListener;
+
+  Result<std::shared_ptr<internal::InProcListenerState>> register_listener(
+      const Endpoint& endpoint);
+  void unregister_listener(const std::string& key);
+  Result<std::shared_ptr<internal::InProcListenerState>> find_listener(
+      const Endpoint& endpoint);
+
+  /// The shaper for a directed host pair. Shared by every connection
+  /// between the two hosts, so N parallel streams divide one link's
+  /// bandwidth instead of multiplying it.
+  std::shared_ptr<LinkShaper> shaper_for(const std::string& src,
+                                         const std::string& dst);
+
+  Clock& clock_;
+  LinkTable links_;
+  std::mutex mu_;
+  std::map<std::string, std::weak_ptr<internal::InProcListenerState>>
+      listeners_;
+  std::map<std::pair<std::string, std::string>,
+           std::shared_ptr<LinkShaper>>
+      shapers_;
+  std::size_t channel_capacity_ = 256;
+};
+
+/// Transport bound to one host identity on an InProcNetwork.
+class InProcTransport final : public Transport {
+ public:
+  InProcTransport(InProcNetwork& network, std::string host)
+      : network_(network), host_(std::move(host)) {}
+
+  Result<std::unique_ptr<Connection>> connect(const Endpoint& remote) override;
+  Result<std::unique_ptr<Listener>> listen(const Endpoint& local) override;
+  const std::string& local_host() const override { return host_; }
+
+ private:
+  InProcNetwork& network_;
+  std::string host_;
+};
+
+}  // namespace griddles::net

@@ -1,0 +1,103 @@
+// Link models: the latency/bandwidth behaviour of a (src, dst) host pair.
+//
+// The in-process transport delays message delivery according to the link
+// model, turning a laptop into a scaled replica of the paper's
+// AU/US/UK/JP testbed. A LinkShaper serializes messages over the link
+// (back-to-back messages queue behind one another) and adds propagation
+// latency, which is exactly the behaviour that makes small-block Grid
+// Buffer streams latency-sensitive while bulk file copies are not
+// (paper §5.3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/common/clock.h"
+
+namespace griddles::net {
+
+struct LinkModel {
+  Duration latency = Duration::zero();      // one-way propagation delay
+  double bandwidth_bytes_per_sec = 0;       // 0 = infinite
+  Duration per_message_overhead = Duration::zero();  // protocol cost
+
+  static LinkModel unlimited() { return {}; }
+
+  /// Time for `bytes` to serialize onto the wire (excludes latency).
+  Duration transmit_time(std::size_t bytes) const {
+    if (bandwidth_bytes_per_sec <= 0) return per_message_overhead;
+    return per_message_overhead +
+           from_seconds_d(static_cast<double>(bytes) /
+                          bandwidth_bytes_per_sec);
+  }
+};
+
+/// Symmetric table of link models keyed by (src host, dst host); falls
+/// back to a default (unlimited) model for unknown pairs. Thread-safe.
+class LinkTable {
+ public:
+  LinkTable() = default;
+
+  void set_default(LinkModel model);
+  /// Installs the model in both directions.
+  void set_link(const std::string& a, const std::string& b, LinkModel model);
+
+  LinkModel lookup(const std::string& src, const std::string& dst) const;
+
+  /// Bumped by every mutation; lets cached shapers detect weather
+  /// changes (e.g. an NWS-visible degradation installed mid-run).
+  std::uint64_t version() const;
+
+ private:
+  mutable std::mutex mu_;
+  LinkModel default_model_{};
+  std::map<std::pair<std::string, std::string>, LinkModel> links_;
+  std::uint64_t version_ = 0;
+};
+
+/// Computes per-message delivery times over one shared serial link:
+/// every connection between a host pair prices its messages through the
+/// same shaper, so N parallel streams divide the link instead of
+/// multiplying it. A table-backed shaper re-reads its model whenever the
+/// table changes, so link "weather" updates apply to live connections.
+class LinkShaper {
+ public:
+  explicit LinkShaper(LinkModel model) : model_(model) {}
+
+  LinkShaper(const LinkTable& table, std::string src, std::string dst)
+      : model_(table.lookup(src, dst)), table_(&table),
+        src_(std::move(src)), dst_(std::move(dst)),
+        seen_version_(table.version()) {}
+
+  /// Returns the model time at which a message of `bytes` sent at
+  /// `send_time` arrives, accounting for messages already in flight.
+  Duration arrival_time(Duration send_time, std::size_t bytes) {
+    std::scoped_lock lock(mu_);
+    if (table_ != nullptr) {
+      const std::uint64_t version = table_->version();
+      if (version != seen_version_) {
+        model_ = table_->lookup(src_, dst_);
+        seen_version_ = version;
+      }
+    }
+    const Duration depart = std::max(send_time, link_free_at_);
+    const Duration transmit = model_.transmit_time(bytes);
+    link_free_at_ = depart + transmit;
+    return link_free_at_ + model_.latency;
+  }
+
+  const LinkModel& model() const noexcept { return model_; }
+
+ private:
+  LinkModel model_;
+  const LinkTable* table_ = nullptr;
+  std::string src_;
+  std::string dst_;
+  std::uint64_t seen_version_ = 0;
+  std::mutex mu_;
+  Duration link_free_at_{0};
+};
+
+}  // namespace griddles::net

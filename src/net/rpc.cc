@@ -1,0 +1,237 @@
+#include "src/net/rpc.h"
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/xdr/codec.h"
+
+namespace griddles::net {
+
+Bytes encode_frame(const RpcFrame& frame, WireFormat format) {
+  if (format == WireFormat::kSoap) return soap_encode(frame);
+  xdr::Encoder enc;
+  enc.put_u8(static_cast<std::uint8_t>(frame.kind));
+  enc.put_u64(frame.id);
+  enc.put_u16(frame.method);
+  xdr::encode_status(enc, frame.status);
+  enc.put_bytes(frame.payload);
+  return std::move(enc).take();
+}
+
+Result<RpcFrame> decode_frame(ByteSpan data, WireFormat format) {
+  if (format == WireFormat::kSoap) return soap_decode(data);
+  xdr::Decoder dec(data);
+  RpcFrame frame;
+  GL_ASSIGN_OR_RETURN(const std::uint8_t kind, dec.u8());
+  if (kind > 1) return invalid_argument("rpc frame: bad kind");
+  frame.kind = static_cast<FrameKind>(kind);
+  GL_ASSIGN_OR_RETURN(frame.id, dec.u64());
+  GL_ASSIGN_OR_RETURN(frame.method, dec.u16());
+  GL_RETURN_IF_ERROR(xdr::decode_status(dec, &frame.status));
+  GL_ASSIGN_OR_RETURN(frame.payload, dec.bytes());
+  return frame;
+}
+
+RpcServer::RpcServer(Transport& transport, Endpoint bind, WireFormat format)
+    : transport_(transport), bind_(std::move(bind)), format_(format) {}
+
+RpcServer::~RpcServer() { stop(); }
+
+void RpcServer::register_method(std::uint16_t method, RpcHandler handler) {
+  std::scoped_lock lock(mu_);
+  handlers_[method] = std::move(handler);
+}
+
+Status RpcServer::start() {
+  std::scoped_lock lock(mu_);
+  if (started_) return failed_precondition("rpc server already started");
+  GL_ASSIGN_OR_RETURN(listener_, transport_.listen(bind_));
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return Status::ok();
+}
+
+Endpoint RpcServer::endpoint() const {
+  std::scoped_lock lock(mu_);
+  return listener_ ? listener_->bound_endpoint() : bind_;
+}
+
+void RpcServer::stop() {
+  std::thread accept_thread;
+  std::vector<std::thread> workers;
+  {
+    std::scoped_lock lock(mu_);
+    if (!started_ || stopping_.exchange(true)) {
+      // Not started, or another stop() already in progress.
+      if (!started_) return;
+    }
+    if (listener_) listener_->close();
+    for (auto& weak_conn : connections_) {
+      if (auto conn = weak_conn.lock()) conn->close();
+    }
+    accept_thread = std::move(accept_thread_);
+    workers = std::move(workers_);
+  }
+  if (accept_thread.joinable()) accept_thread.join();
+  for (std::thread& worker : workers) {
+    if (worker.joinable()) worker.join();
+  }
+  std::scoped_lock lock(mu_);
+  started_ = false;
+  stopping_ = false;
+  listener_.reset();
+  connections_.clear();
+}
+
+std::size_t RpcServer::live_connections() const {
+  std::scoped_lock lock(mu_);
+  std::size_t live = 0;
+  for (const auto& weak_conn : connections_) {
+    if (!weak_conn.expired()) ++live;
+  }
+  return live;
+}
+
+void RpcServer::accept_loop() {
+  while (!stopping_) {
+    auto accepted = listener_->accept();
+    if (!accepted.is_ok()) {
+      if (accepted.status().code() == ErrorCode::kClosed || stopping_) return;
+      GL_LOG(kWarn, "rpc accept failed: ", accepted.status());
+      continue;
+    }
+    std::shared_ptr<Connection> conn = std::move(*accepted);
+    std::scoped_lock lock(mu_);
+    if (stopping_) {
+      conn->close();
+      return;
+    }
+    connections_.push_back(conn);
+    workers_.emplace_back(
+        [this, conn = std::move(conn)]() mutable { serve_connection(conn); });
+  }
+}
+
+void RpcServer::serve_connection(std::shared_ptr<Connection> conn) {
+  const RpcContext context{conn->peer()};
+  while (!stopping_) {
+    auto message = conn->recv();
+    if (!message.is_ok()) {
+      if (message.status().code() != ErrorCode::kClosed) {
+        GL_LOG(kDebug, "rpc connection error from ", context.peer, ": ",
+               message.status());
+      }
+      return;
+    }
+    auto frame = decode_frame(*message, format_);
+    if (!frame.is_ok()) {
+      GL_LOG(kWarn, "rpc bad frame from ", context.peer, ": ",
+             frame.status());
+      return;  // framing is broken; drop the connection
+    }
+    if (frame->kind != FrameKind::kRequest) {
+      GL_LOG(kWarn, "rpc unexpected response frame from ", context.peer);
+      return;
+    }
+
+    RpcFrame reply;
+    reply.kind = FrameKind::kResponse;
+    reply.id = frame->id;
+    reply.method = frame->method;
+
+    RpcHandler* handler = nullptr;
+    {
+      std::scoped_lock lock(mu_);
+      const auto it = handlers_.find(frame->method);
+      if (it != handlers_.end()) handler = &it->second;
+    }
+    if (handler == nullptr) {
+      reply.status = unimplemented(
+          strings::cat("no handler for method ", frame->method));
+    } else {
+      auto result = (*handler)(frame->payload, context);
+      if (result.is_ok()) {
+        reply.payload = std::move(*result);
+      } else {
+        reply.status = result.status();
+      }
+    }
+    const Bytes encoded = encode_frame(reply, format_);
+    if (const Status sent = conn->send(encoded); !sent.is_ok()) {
+      if (sent.code() != ErrorCode::kClosed) {
+        GL_LOG(kDebug, "rpc reply send failed: ", sent);
+      }
+      return;
+    }
+  }
+}
+
+RpcClient::RpcClient(Transport& transport, Endpoint server, WireFormat format)
+    : transport_(transport), server_(std::move(server)), format_(format) {}
+
+RpcClient::~RpcClient() {
+  std::scoped_lock lock(mu_);
+  if (conn_) conn_->close();
+}
+
+Status RpcClient::ensure_connected() {
+  if (conn_) return Status::ok();
+  GL_ASSIGN_OR_RETURN(conn_, transport_.connect(server_));
+  return Status::ok();
+}
+
+void RpcClient::reset_connection() {
+  std::scoped_lock lock(mu_);
+  if (conn_) conn_->close();
+  conn_.reset();
+}
+
+Result<Bytes> RpcClient::call(std::uint16_t method, ByteSpan request) {
+  return call_impl(method, request, nullptr);
+}
+
+Result<Bytes> RpcClient::call_until(std::uint16_t method, ByteSpan request,
+                                    WallClock::time_point deadline) {
+  return call_impl(method, request, &deadline);
+}
+
+Result<Bytes> RpcClient::call_impl(std::uint16_t method, ByteSpan request,
+                                   const WallClock::time_point* deadline) {
+  std::scoped_lock lock(mu_);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    GL_RETURN_IF_ERROR(ensure_connected());
+
+    RpcFrame frame;
+    frame.kind = FrameKind::kRequest;
+    frame.id = next_id_++;
+    frame.method = method;
+    frame.payload.assign(request.begin(), request.end());
+
+    const Status sent = conn_->send(encode_frame(frame, format_));
+    if (!sent.is_ok()) {
+      conn_.reset();
+      if (attempt == 0 && sent.code() == ErrorCode::kClosed) continue;
+      return sent;
+    }
+
+    auto message =
+        deadline != nullptr ? conn_->recv_until(*deadline) : conn_->recv();
+    if (!message.is_ok()) {
+      const ErrorCode code = message.status().code();
+      if (code == ErrorCode::kTimeout) return message.status();
+      conn_.reset();
+      if (attempt == 0 && code == ErrorCode::kClosed) continue;
+      return message.status();
+    }
+    GL_ASSIGN_OR_RETURN(RpcFrame reply, decode_frame(*message, format_));
+    if (reply.kind != FrameKind::kResponse || reply.id != frame.id) {
+      conn_.reset();
+      return internal_error("rpc response out of sequence");
+    }
+    if (!reply.status.is_ok()) return reply.status;
+    return std::move(reply.payload);
+  }
+  return unavailable(strings::cat("rpc to ", server_.to_string(),
+                                  " failed after reconnect"));
+}
+
+}  // namespace griddles::net

@@ -1,0 +1,123 @@
+// Minimal request/response RPC over any Transport.
+//
+// Frames are either raw binary (default) or SOAP/XML envelopes
+// (WireFormat::kSoap) — the services are oblivious to the choice.
+// A server runs one thread per connection; handlers may block (the Grid
+// Buffer's read-blocks-until-written semantics depend on this).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/net/soap.h"
+#include "src/net/transport.h"
+
+namespace griddles::net {
+
+enum class WireFormat { kBinary, kSoap };
+
+/// Per-call server-side context.
+struct RpcContext {
+  std::string peer;
+};
+
+/// A handler consumes the request payload and produces a response payload
+/// (or an error Status, which travels back to the caller).
+using RpcHandler = std::function<Result<Bytes>(ByteSpan, const RpcContext&)>;
+
+class RpcServer {
+ public:
+  /// Does not start serving until start().
+  RpcServer(Transport& transport, Endpoint bind,
+            WireFormat format = WireFormat::kBinary);
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Registers a handler; must happen before start().
+  void register_method(std::uint16_t method, RpcHandler handler);
+
+  /// Binds and spawns the accept loop.
+  Status start();
+
+  /// The endpoint clients should dial (resolves ephemeral TCP ports).
+  Endpoint endpoint() const;
+
+  /// Stops accepting, closes live connections, joins all threads.
+  void stop();
+
+  /// Number of currently connected clients (for tests).
+  std::size_t live_connections() const;
+
+ private:
+  void accept_loop();
+  void serve_connection(std::shared_ptr<Connection> conn);
+
+  Transport& transport_;
+  Endpoint bind_;
+  WireFormat format_;
+  std::map<std::uint16_t, RpcHandler> handlers_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<Listener> listener_;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::vector<std::weak_ptr<Connection>> connections_;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+};
+
+/// Synchronous RPC client. One outstanding call at a time per client;
+/// create several clients for concurrency. Reconnects once on a broken
+/// connection.
+class RpcClient {
+ public:
+  RpcClient(Transport& transport, Endpoint server,
+            WireFormat format = WireFormat::kBinary);
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Calls `method`; the returned bytes are the handler's response
+  /// payload. Handler errors come back as their original Status.
+  Result<Bytes> call(std::uint16_t method, ByteSpan request);
+
+  /// As call(), failing with kTimeout at the wall deadline.
+  Result<Bytes> call_until(std::uint16_t method, ByteSpan request,
+                           WallClock::time_point deadline);
+
+  const Endpoint& server() const noexcept { return server_; }
+
+  /// Drops the cached connection (next call reconnects).
+  void reset_connection();
+
+ private:
+  Result<Bytes> call_impl(std::uint16_t method, ByteSpan request,
+                          const WallClock::time_point* deadline);
+  Status ensure_connected();
+
+  Transport& transport_;
+  Endpoint server_;
+  WireFormat format_;
+  std::mutex mu_;
+  std::unique_ptr<Connection> conn_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// Encodes/decodes RPC frames for the given wire format (exposed for the
+/// codec ablation bench and fuzz-style tests).
+Bytes encode_frame(const RpcFrame& frame, WireFormat format);
+Result<RpcFrame> decode_frame(ByteSpan data, WireFormat format);
+
+}  // namespace griddles::net

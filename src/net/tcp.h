@@ -1,0 +1,34 @@
+// Real TCP transport (loopback-oriented) with length-prefixed framing.
+//
+// Used by the integration tests and micro benchmarks to run the exact
+// same services over genuine sockets. The host identity is informational
+// here; no link shaping is applied (the kernel's loopback is the link).
+#pragma once
+
+#include <string>
+
+#include "src/net/transport.h"
+
+namespace griddles::net {
+
+/// Hard cap on a single framed message (guards against corrupt frames).
+inline constexpr std::size_t kMaxTcpMessageBytes = 64u << 20;
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(std::string host_label = "localhost")
+      : host_(std::move(host_label)) {}
+
+  Result<std::unique_ptr<Connection>> connect(const Endpoint& remote) override;
+
+  /// Binds 127.0.0.1:<port>; port 0 selects an ephemeral port, visible
+  /// via Listener::bound_endpoint().
+  Result<std::unique_ptr<Listener>> listen(const Endpoint& local) override;
+
+  const std::string& local_host() const override { return host_; }
+
+ private:
+  std::string host_;
+};
+
+}  // namespace griddles::net

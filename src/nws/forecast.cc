@@ -1,0 +1,146 @@
+#include "src/nws/forecast.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace griddles::nws {
+
+void Series::add(double value, Duration at) {
+  std::scoped_lock lock(mu_);
+  history_.push_back(Sample{at, value});
+  while (history_.size() > max_samples_) history_.pop_front();
+}
+
+std::size_t Series::size() const {
+  std::scoped_lock lock(mu_);
+  return history_.size();
+}
+
+std::optional<double> Series::last() const {
+  std::scoped_lock lock(mu_);
+  if (history_.empty()) return std::nullopt;
+  return history_.back().value;
+}
+
+std::optional<double> Series::median(std::size_t window) const {
+  std::scoped_lock lock(mu_);
+  if (history_.empty()) return std::nullopt;
+  const std::size_t n = std::min(window, history_.size());
+  std::vector<double> values;
+  values.reserve(n);
+  for (std::size_t i = history_.size() - n; i < history_.size(); ++i) {
+    values.push_back(history_[i].value);
+  }
+  std::nth_element(values.begin(), values.begin() + values.size() / 2,
+                   values.end());
+  return values[values.size() / 2];
+}
+
+std::optional<double> Series::mean(std::size_t window) const {
+  std::scoped_lock lock(mu_);
+  if (history_.empty()) return std::nullopt;
+  const std::size_t n = std::min(window, history_.size());
+  double sum = 0;
+  for (std::size_t i = history_.size() - n; i < history_.size(); ++i) {
+    sum += history_[i].value;
+  }
+  return sum / static_cast<double>(n);
+}
+
+std::optional<double> Series::ewma(double alpha) const {
+  std::scoped_lock lock(mu_);
+  if (history_.empty()) return std::nullopt;
+  double value = history_.front().value;
+  for (std::size_t i = 1; i < history_.size(); ++i) {
+    value = alpha * history_[i].value + (1 - alpha) * value;
+  }
+  return value;
+}
+
+namespace {
+constexpr int kNumPredictors = 4;
+constexpr std::size_t kMedianWindow = 8;
+constexpr std::size_t kMeanWindow = 8;
+constexpr double kEwmaAlpha = 0.4;
+}  // namespace
+
+double Series::predict_with(int predictor, std::size_t upto) const {
+  // Predicts sample [upto] from samples [0, upto). Caller holds mu_ and
+  // guarantees upto >= 1.
+  switch (predictor) {
+    case 0:  // last value
+      return history_[upto - 1].value;
+    case 1: {  // sliding median
+      const std::size_t n = std::min(kMedianWindow, upto);
+      std::vector<double> values;
+      values.reserve(n);
+      for (std::size_t i = upto - n; i < upto; ++i) {
+        values.push_back(history_[i].value);
+      }
+      std::nth_element(values.begin(), values.begin() + values.size() / 2,
+                       values.end());
+      return values[values.size() / 2];
+    }
+    case 2: {  // sliding mean
+      const std::size_t n = std::min(kMeanWindow, upto);
+      double sum = 0;
+      for (std::size_t i = upto - n; i < upto; ++i) {
+        sum += history_[i].value;
+      }
+      return sum / static_cast<double>(n);
+    }
+    default: {  // EWMA
+      double value = history_[0].value;
+      for (std::size_t i = 1; i < upto; ++i) {
+        value = kEwmaAlpha * history_[i].value + (1 - kEwmaAlpha) * value;
+      }
+      return value;
+    }
+  }
+}
+
+std::optional<double> Series::forecast() const {
+  std::scoped_lock lock(mu_);
+  if (history_.empty()) return std::nullopt;
+  if (history_.size() < 3) return history_.back().value;
+
+  // Replay each predictor over the history; pick the lowest-MSE one.
+  double best_mse = 0;
+  int best = 0;
+  for (int p = 0; p < kNumPredictors; ++p) {
+    double mse = 0;
+    for (std::size_t i = 1; i < history_.size(); ++i) {
+      const double err = predict_with(p, i) - history_[i].value;
+      mse += err * err;
+    }
+    if (p == 0 || mse < best_mse) {
+      best_mse = mse;
+      best = p;
+    }
+  }
+  return predict_with(best, history_.size());
+}
+
+std::vector<Sample> Series::samples() const {
+  std::scoped_lock lock(mu_);
+  return {history_.begin(), history_.end()};
+}
+
+void StaticLinkEstimator::set(const std::string& dst_host,
+                              LinkEstimate estimate) {
+  std::scoped_lock lock(mu_);
+  estimates_[dst_host] = estimate;
+}
+
+Result<LinkEstimate> StaticLinkEstimator::estimate(
+    const std::string& dst_host) {
+  std::scoped_lock lock(mu_);
+  const auto it = estimates_.find(dst_host);
+  if (it == estimates_.end()) {
+    return not_found(strings::cat("no link estimate for ", dst_host));
+  }
+  return it->second;
+}
+
+}  // namespace griddles::nws

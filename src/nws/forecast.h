@@ -1,0 +1,94 @@
+// Network Weather Service-style forecasting (Wolski et al.), reproduced
+// for replica selection and copy-vs-buffer decisions.
+//
+// NWS's key idea: keep several simple predictors (last value, sliding
+// median, sliding mean, EWMA) and, for each new forecast, trust whichever
+// predictor has had the lowest error on the history so far.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+
+namespace griddles::nws {
+
+/// One time-stamped observation of a scalar (latency seconds, bytes/s...).
+struct Sample {
+  Duration at;
+  double value;
+};
+
+/// Bounded history of samples with the NWS predictor ensemble.
+class Series {
+ public:
+  explicit Series(std::size_t max_samples = 128)
+      : max_samples_(max_samples) {}
+
+  void add(double value, Duration at);
+
+  std::size_t size() const;
+  std::optional<double> last() const;
+
+  /// Median of the most recent `window` samples.
+  std::optional<double> median(std::size_t window) const;
+
+  /// Mean of the most recent `window` samples.
+  std::optional<double> mean(std::size_t window) const;
+
+  /// Exponentially weighted moving average.
+  std::optional<double> ewma(double alpha) const;
+
+  /// Adaptive forecast: replays each predictor over the history, measures
+  /// its mean squared one-step error, and returns the prediction of the
+  /// best one. Falls back to last() with < 3 samples.
+  std::optional<double> forecast() const;
+
+  std::vector<Sample> samples() const;
+
+ private:
+  double predict_with(int predictor, std::size_t upto) const;
+
+  const std::size_t max_samples_;
+  mutable std::mutex mu_;
+  std::deque<Sample> history_;
+};
+
+/// A latency/bandwidth estimate for one directed host pair.
+struct LinkEstimate {
+  double latency_seconds = 0;
+  double bandwidth_bytes_per_sec = 0;
+
+  /// Predicted seconds to move `bytes` over this link (one message).
+  double transfer_seconds(std::uint64_t bytes) const {
+    const double bw = bandwidth_bytes_per_sec;
+    return latency_seconds +
+           (bw > 0 ? static_cast<double>(bytes) / bw : 0.0);
+  }
+};
+
+/// Anything that can estimate the link from "here" to a destination host.
+class LinkEstimator {
+ public:
+  virtual ~LinkEstimator() = default;
+  virtual Result<LinkEstimate> estimate(const std::string& dst_host) = 0;
+};
+
+/// Fixed estimates, for tests and analytic benches.
+class StaticLinkEstimator final : public LinkEstimator {
+ public:
+  void set(const std::string& dst_host, LinkEstimate estimate);
+  Result<LinkEstimate> estimate(const std::string& dst_host) override;
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, LinkEstimate> estimates_;
+};
+
+}  // namespace griddles::nws

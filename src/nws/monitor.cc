@@ -1,0 +1,191 @@
+#include "src/nws/monitor.h"
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/xdr/codec.h"
+
+namespace griddles::nws {
+
+namespace {
+constexpr std::uint16_t method_id(Method m) {
+  return static_cast<std::uint16_t>(m);
+}
+}  // namespace
+
+Responder::Responder(net::Transport& transport, net::Endpoint bind)
+    : rpc_(transport, std::move(bind)) {
+  rpc_.register_method(
+      method_id(Method::kEcho),
+      [](ByteSpan request, const net::RpcContext&) -> Result<Bytes> {
+        return Bytes(request.begin(), request.end());
+      });
+  rpc_.register_method(
+      method_id(Method::kSink),
+      [](ByteSpan request, const net::RpcContext&) -> Result<Bytes> {
+        xdr::Encoder enc;
+        enc.put_u64(request.size());
+        return std::move(enc).take();
+      });
+}
+
+Monitor::Monitor(net::Transport& transport, Clock& clock, Options options)
+    : transport_(transport), clock_(clock), options_(options) {}
+
+Monitor::~Monitor() { stop(); }
+
+void Monitor::add_target(const std::string& dst_host,
+                         net::Endpoint responder) {
+  std::scoped_lock lock(mu_);
+  auto target = std::make_unique<Target>();
+  target->responder = std::move(responder);
+  targets_[dst_host] = std::move(target);
+}
+
+Status Monitor::probe_once(const std::string& dst_host) {
+  Target* target = nullptr;
+  {
+    std::scoped_lock lock(mu_);
+    const auto it = targets_.find(dst_host);
+    if (it == targets_.end()) {
+      return not_found(strings::cat("nws: unknown target ", dst_host));
+    }
+    target = it->second.get();
+    if (!target->client) {
+      target->client =
+          std::make_unique<net::RpcClient>(transport_, target->responder);
+    }
+  }
+
+  // RTT: median of echo_count small echoes; latency = RTT / 2.
+  std::vector<double> rtts;
+  for (std::size_t i = 0; i < options_.echo_count; ++i) {
+    const Duration start = clock_.now();
+    const Bytes ping = to_bytes("nws-ping");
+    GL_ASSIGN_OR_RETURN(const Bytes reply,
+                        target->client->call(method_id(Method::kEcho), ping));
+    if (reply.size() != ping.size()) {
+      return internal_error("nws echo reply size mismatch");
+    }
+    rtts.push_back(to_seconds_d(clock_.now() - start));
+  }
+  std::nth_element(rtts.begin(), rtts.begin() + rtts.size() / 2, rtts.end());
+  const double rtt = rtts[rtts.size() / 2];
+  const double latency = rtt / 2.0;
+
+  // Throughput: time a bulk transfer and subtract the latency estimate.
+  Bytes bulk(options_.bulk_bytes, std::byte{0x5a});
+  const Duration bulk_start = clock_.now();
+  GL_ASSIGN_OR_RETURN(const Bytes ack,
+                      target->client->call(method_id(Method::kSink), bulk));
+  (void)ack;
+  const double bulk_elapsed = to_seconds_d(clock_.now() - bulk_start);
+  const double transfer = std::max(1e-9, bulk_elapsed - rtt);
+  const double bandwidth = static_cast<double>(options_.bulk_bytes) / transfer;
+
+  const Duration now = clock_.now();
+  target->latency.add(latency, now);
+  target->bandwidth.add(bandwidth, now);
+  GL_LOG(kDebug, "nws probe ", transport_.local_host(), " -> ", dst_host,
+         ": latency=", latency, "s bandwidth=", bandwidth, "B/s");
+  return Status::ok();
+}
+
+Status Monitor::probe_all() {
+  std::vector<std::string> hosts;
+  {
+    std::scoped_lock lock(mu_);
+    hosts.reserve(targets_.size());
+    for (const auto& [host, target] : targets_) hosts.push_back(host);
+  }
+  Status first_error = Status::ok();
+  for (const std::string& host : hosts) {
+    if (const Status s = probe_once(host);
+        !s.is_ok() && first_error.is_ok()) {
+      first_error = s;
+    }
+  }
+  return first_error;
+}
+
+void Monitor::start() {
+  if (running_.exchange(true)) return;
+  prober_ = std::thread([this] {
+    while (running_) {
+      if (const Status s = probe_all(); !s.is_ok()) {
+        GL_LOG(kDebug, "nws probe round error: ", s);
+      }
+      // Sleep in small wall slices so stop() is responsive even under a
+      // large model-time period.
+      const WallClock::time_point wake =
+          clock_.wall_deadline(options_.period);
+      while (running_ && WallClock::now() < wake) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+  });
+}
+
+void Monitor::stop() {
+  if (!running_.exchange(false)) return;
+  if (prober_.joinable()) prober_.join();
+}
+
+Result<LinkEstimate> Monitor::estimate(const std::string& dst_host) {
+  std::scoped_lock lock(mu_);
+  const auto it = targets_.find(dst_host);
+  if (it == targets_.end()) {
+    return not_found(strings::cat("nws: unknown target ", dst_host));
+  }
+  const auto latency = it->second->latency.forecast();
+  const auto bandwidth = it->second->bandwidth.forecast();
+  if (!latency || !bandwidth) {
+    return unavailable(strings::cat("nws: no samples yet for ", dst_host));
+  }
+  return LinkEstimate{*latency, *bandwidth};
+}
+
+const Series* Monitor::latency_series(const std::string& dst_host) const {
+  std::scoped_lock lock(mu_);
+  const auto it = targets_.find(dst_host);
+  return it == targets_.end() ? nullptr : &it->second->latency;
+}
+
+const Series* Monitor::bandwidth_series(const std::string& dst_host) const {
+  std::scoped_lock lock(mu_);
+  const auto it = targets_.find(dst_host);
+  return it == targets_.end() ? nullptr : &it->second->bandwidth;
+}
+
+QueryService::QueryService(Monitor& monitor, net::Transport& transport,
+                           net::Endpoint bind)
+    : monitor_(monitor), rpc_(transport, std::move(bind)) {
+  rpc_.register_method(
+      method_id(Method::kEstimate),
+      [this](ByteSpan request, const net::RpcContext&) -> Result<Bytes> {
+        xdr::Decoder dec(request);
+        GL_ASSIGN_OR_RETURN(const std::string dst_host, dec.string());
+        GL_ASSIGN_OR_RETURN(const LinkEstimate estimate,
+                            monitor_.estimate(dst_host));
+        xdr::Encoder enc;
+        enc.put_f64(estimate.latency_seconds);
+        enc.put_f64(estimate.bandwidth_bytes_per_sec);
+        return std::move(enc).take();
+      });
+}
+
+QueryClient::QueryClient(net::Transport& transport, net::Endpoint service)
+    : rpc_(transport, std::move(service)) {}
+
+Result<LinkEstimate> QueryClient::estimate(const std::string& dst_host) {
+  xdr::Encoder enc;
+  enc.put_string(dst_host);
+  GL_ASSIGN_OR_RETURN(const Bytes reply,
+                      rpc_.call(method_id(Method::kEstimate), enc.buffer()));
+  xdr::Decoder dec(reply);
+  LinkEstimate estimate;
+  GL_ASSIGN_OR_RETURN(estimate.latency_seconds, dec.f64());
+  GL_ASSIGN_OR_RETURN(estimate.bandwidth_bytes_per_sec, dec.f64());
+  return estimate;
+}
+
+}  // namespace griddles::nws

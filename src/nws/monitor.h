@@ -1,0 +1,121 @@
+// Active network probing: the measurement half of the NWS substitute.
+//
+// Each testbed host runs a small Responder service. A Monitor on host A
+// periodically dials host B's responder, measuring round-trip time with
+// tiny echo messages and throughput with a bulk transfer. Because probes
+// travel the same (possibly modelled) transports as real traffic, the
+// monitor faithfully observes the simulated WAN.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/net/rpc.h"
+#include "src/nws/forecast.h"
+
+namespace griddles::nws {
+
+enum class Method : std::uint16_t {
+  kEcho = 1,      // responder: reply with the payload
+  kSink = 2,      // responder: swallow the payload, reply with its size
+  kEstimate = 3,  // query service: forecast for a destination host
+};
+
+/// The per-host probe target service.
+class Responder {
+ public:
+  Responder(net::Transport& transport, net::Endpoint bind);
+
+  Status start() { return rpc_.start(); }
+  void stop() { rpc_.stop(); }
+  net::Endpoint endpoint() const { return rpc_.endpoint(); }
+
+ private:
+  net::RpcServer rpc_;
+};
+
+/// Probes a set of destination hosts and forecasts their link behaviour.
+/// Implements LinkEstimator so replica selection can consume it directly.
+class Monitor final : public LinkEstimator {
+ public:
+  struct Options {
+    Duration period = std::chrono::seconds(10);  // model-time probe period
+    std::size_t echo_count = 3;        // RTT samples per probe round
+    std::size_t bulk_bytes = 256 * 1024;  // throughput probe payload
+  };
+
+  /// `transport` provides the origin host identity; `clock` supplies the
+  /// model timebase used for both timing and the probe period.
+  Monitor(net::Transport& transport, Clock& clock, Options options);
+  Monitor(net::Transport& transport, Clock& clock)
+      : Monitor(transport, clock, Options{}) {}
+  ~Monitor() override;
+
+  /// Registers a destination (its responder endpoint).
+  void add_target(const std::string& dst_host, net::Endpoint responder);
+
+  /// Synchronously probes one destination, appending samples.
+  Status probe_once(const std::string& dst_host);
+
+  /// Probes every registered destination.
+  Status probe_all();
+
+  /// Starts the periodic background prober.
+  void start();
+  void stop();
+
+  /// Forecasted link estimate to a destination (kNotFound before any
+  /// successful probe).
+  Result<LinkEstimate> estimate(const std::string& dst_host) override;
+
+  /// Raw series access for tests and the NWS query service.
+  const Series* latency_series(const std::string& dst_host) const;
+  const Series* bandwidth_series(const std::string& dst_host) const;
+
+ private:
+  struct Target {
+    net::Endpoint responder;
+    std::unique_ptr<net::RpcClient> client;
+    Series latency{64};
+    Series bandwidth{64};
+  };
+
+  net::Transport& transport_;
+  Clock& clock_;
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Target>> targets_;
+  std::thread prober_;
+  std::atomic<bool> running_{false};
+};
+
+/// Serves a Monitor's estimates over RPC (so a scheduler on one machine
+/// can ask about links it does not originate).
+class QueryService {
+ public:
+  QueryService(Monitor& monitor, net::Transport& transport,
+               net::Endpoint bind);
+
+  Status start() { return rpc_.start(); }
+  void stop() { rpc_.stop(); }
+  net::Endpoint endpoint() const { return rpc_.endpoint(); }
+
+ private:
+  Monitor& monitor_;
+  net::RpcServer rpc_;
+};
+
+/// LinkEstimator backed by a remote QueryService.
+class QueryClient final : public LinkEstimator {
+ public:
+  QueryClient(net::Transport& transport, net::Endpoint service);
+  Result<LinkEstimate> estimate(const std::string& dst_host) override;
+
+ private:
+  net::RpcClient rpc_;
+};
+
+}  // namespace griddles::nws

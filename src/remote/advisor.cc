@@ -1,0 +1,39 @@
+#include "src/remote/advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace griddles::remote {
+
+Advice advise(std::uint64_t file_size, double access_fraction,
+              const nws::LinkEstimate& link, const AdvisorPolicy& policy) {
+  Advice advice;
+  const double size = static_cast<double>(file_size);
+  const double fraction = std::clamp(access_fraction, 0.0, 1.0);
+  const double bandwidth = std::max(1.0, link.bandwidth_bytes_per_sec);
+  const double latency = std::max(0.0, link.latency_seconds);
+
+  // Copy plan: chunks flow down `copy_streams` pipelined connections, so
+  // round trips overlap with data; cost ≈ startup handshakes + bulk time.
+  const double startup_round_trips = 2.0;  // stat + first chunk request
+  advice.copy_cost_seconds =
+      startup_round_trips * 2.0 * latency + size / bandwidth;
+
+  // Proxy plan: each touched block is a synchronous request/response.
+  const double block = static_cast<double>(policy.proxy_block_size);
+  const double touched_blocks =
+      file_size == 0 ? 0.0 : std::ceil(size * fraction / block);
+  advice.proxy_cost_seconds =
+      touched_blocks * (2.0 * latency + block / bandwidth);
+
+  const bool copy_forbidden =
+      policy.max_copy_bytes != 0 && file_size > policy.max_copy_bytes;
+  advice.strategy =
+      (!copy_forbidden &&
+       advice.copy_cost_seconds <= advice.proxy_cost_seconds)
+          ? RemoteStrategy::kCopy
+          : RemoteStrategy::kProxy;
+  return advice;
+}
+
+}  // namespace griddles::remote

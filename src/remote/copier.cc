@@ -1,0 +1,204 @@
+#include "src/remote/copier.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/net/rpc.h"
+#include "src/remote/protocol.h"
+#include "src/vfs/local_client.h"
+#include "src/xdr/codec.h"
+
+namespace griddles::remote {
+
+namespace {
+Status errno_status(const char* op, const std::string& path) {
+  return io_error(strings::cat(op, " ", path, ": ", std::strerror(errno)));
+}
+
+Result<std::uint64_t> remote_size(net::RpcClient& rpc,
+                                  const std::string& path) {
+  xdr::Encoder enc;
+  enc.put_string(path);
+  GL_ASSIGN_OR_RETURN(const Bytes reply,
+                      rpc.call(method_id(Method::kStat), enc.buffer()));
+  xdr::Decoder dec(reply);
+  GL_ASSIGN_OR_RETURN(const bool exists, dec.boolean());
+  GL_ASSIGN_OR_RETURN(const std::uint64_t size, dec.u64());
+  if (!exists) return not_found(strings::cat("remote file missing: ", path));
+  return size;
+}
+}  // namespace
+
+FileCopier::FileCopier(net::Transport& transport, Clock& clock,
+                       Options options)
+    : transport_(transport), clock_(clock), options_(options) {}
+
+Result<CopyStats> FileCopier::fetch(const net::Endpoint& server,
+                                    const std::string& remote_path,
+                                    const std::string& local_path) {
+  const Duration start = clock_.now();
+  net::RpcClient control(transport_, server);
+  GL_ASSIGN_OR_RETURN(const std::uint64_t size,
+                      remote_size(control, remote_path));
+
+  {
+    const std::filesystem::path parent =
+        std::filesystem::path(local_path).parent_path();
+    if (!parent.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(parent, ec);
+    }
+  }
+  const int fd = ::open(local_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                        0644);
+  if (fd < 0) return errno_status("open", local_path);
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    ::close(fd);
+    return errno_status("ftruncate", local_path);
+  }
+
+  const std::uint64_t chunk = options_.chunk_size;
+  const std::uint64_t num_chunks = size == 0 ? 0 : (size + chunk - 1) / chunk;
+  const int streams = static_cast<int>(std::min<std::uint64_t>(
+      std::max(1, options_.parallel_streams), std::max<std::uint64_t>(
+                                                  1, num_chunks)));
+
+  std::atomic<std::uint64_t> next_chunk{0};
+  std::vector<Status> stream_status(static_cast<std::size_t>(streams),
+                                    Status::ok());
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(streams));
+  for (int s = 0; s < streams; ++s) {
+    workers.emplace_back([&, s] {
+      net::RpcClient rpc(transport_, server);
+      while (true) {
+        const std::uint64_t index = next_chunk.fetch_add(1);
+        if (index >= num_chunks) return;
+        const std::uint64_t offset = index * chunk;
+        const std::uint32_t length = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(chunk, size - offset));
+        xdr::Encoder enc;
+        enc.put_string(remote_path);
+        enc.put_u64(offset);
+        enc.put_u32(length);
+        auto reply = rpc.call(method_id(Method::kGetChunk), enc.buffer());
+        if (!reply.is_ok()) {
+          stream_status[static_cast<std::size_t>(s)] = reply.status();
+          return;
+        }
+        xdr::Decoder dec(*reply);
+        auto data = dec.bytes();
+        if (!data.is_ok() || data->size() != length) {
+          stream_status[static_cast<std::size_t>(s)] =
+              io_error("fetch: short or malformed chunk");
+          return;
+        }
+        std::size_t put = 0;
+        while (put < data->size()) {
+          const ssize_t n =
+              ::pwrite(fd, data->data() + put, data->size() - put,
+                       static_cast<off_t>(offset + put));
+          if (n < 0) {
+            if (errno == EINTR) continue;
+            stream_status[static_cast<std::size_t>(s)] =
+                errno_status("pwrite", local_path);
+            return;
+          }
+          put += static_cast<std::size_t>(n);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  ::close(fd);
+  for (const Status& status : stream_status) GL_RETURN_IF_ERROR(status);
+
+  return CopyStats{size, to_seconds_d(clock_.now() - start), streams};
+}
+
+Result<CopyStats> FileCopier::push(const std::string& local_path,
+                                   const net::Endpoint& server,
+                                   const std::string& remote_path) {
+  const Duration start = clock_.now();
+  GL_ASSIGN_OR_RETURN(const std::uint64_t size, vfs::file_size(local_path));
+  const int fd = ::open(local_path.c_str(), O_RDONLY);
+  if (fd < 0) return errno_status("open", local_path);
+
+  // Create/truncate the destination before the parallel phase.
+  {
+    net::RpcClient control(transport_, server);
+    xdr::Encoder enc;
+    enc.put_string(remote_path);
+    enc.put_u64(0);
+    enc.put_bool(true);  // truncate to offset 0
+    enc.put_bytes({});
+    auto reply = control.call(method_id(Method::kPutChunk), enc.buffer());
+    if (!reply.is_ok()) {
+      ::close(fd);
+      return reply.status();
+    }
+  }
+
+  const std::uint64_t chunk = options_.chunk_size;
+  const std::uint64_t num_chunks = size == 0 ? 0 : (size + chunk - 1) / chunk;
+  const int streams = static_cast<int>(std::min<std::uint64_t>(
+      std::max(1, options_.parallel_streams), std::max<std::uint64_t>(
+                                                  1, num_chunks)));
+
+  std::atomic<std::uint64_t> next_chunk{0};
+  std::vector<Status> stream_status(static_cast<std::size_t>(streams),
+                                    Status::ok());
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(streams));
+  for (int s = 0; s < streams; ++s) {
+    workers.emplace_back([&, s] {
+      net::RpcClient rpc(transport_, server);
+      Bytes buffer(chunk);
+      while (true) {
+        const std::uint64_t index = next_chunk.fetch_add(1);
+        if (index >= num_chunks) return;
+        const std::uint64_t offset = index * chunk;
+        const std::size_t length = static_cast<std::size_t>(
+            std::min<std::uint64_t>(chunk, size - offset));
+        std::size_t got = 0;
+        while (got < length) {
+          const ssize_t n = ::pread(fd, buffer.data() + got, length - got,
+                                    static_cast<off_t>(offset + got));
+          if (n < 0) {
+            if (errno == EINTR) continue;
+            stream_status[static_cast<std::size_t>(s)] =
+                errno_status("pread", local_path);
+            return;
+          }
+          if (n == 0) break;
+          got += static_cast<std::size_t>(n);
+        }
+        xdr::Encoder enc;
+        enc.put_string(remote_path);
+        enc.put_u64(offset);
+        enc.put_bool(false);
+        enc.put_bytes({buffer.data(), got});
+        auto reply = rpc.call(method_id(Method::kPutChunk), enc.buffer());
+        if (!reply.is_ok()) {
+          stream_status[static_cast<std::size_t>(s)] = reply.status();
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  ::close(fd);
+  for (const Status& status : stream_status) GL_RETURN_IF_ERROR(status);
+
+  return CopyStats{size, to_seconds_d(clock_.now() - start), streams};
+}
+
+}  // namespace griddles::remote

@@ -1,0 +1,64 @@
+// The remote file server: GriddLeS' stand-in for a GridFTP server.
+//
+// Serves one exported directory tree over RPC. Paths are validated so a
+// client can never escape the root. Positioned reads/writes (pread/
+// pwrite) make concurrent handles and parallel copy streams safe.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/net/rpc.h"
+#include "src/remote/protocol.h"
+
+namespace griddles::remote {
+
+class FileServer {
+ public:
+  /// Exports `root` (created if missing) at `bind`.
+  FileServer(std::filesystem::path root, net::Transport& transport,
+             net::Endpoint bind,
+             net::WireFormat format = net::WireFormat::kBinary);
+  ~FileServer();
+
+  Status start();
+  void stop();
+  net::Endpoint endpoint() const { return rpc_.endpoint(); }
+  const std::filesystem::path& root() const noexcept { return root_; }
+
+  /// Open handles currently held by clients (for leak tests).
+  std::size_t open_handles() const;
+
+ private:
+  struct OpenFile {
+    int fd = -1;
+    bool writable = false;
+    std::string path;
+  };
+
+  void register_handlers();
+  Result<std::filesystem::path> resolve(const std::string& path) const;
+  Result<Bytes> handle_open(ByteSpan request);
+  Result<Bytes> handle_close(ByteSpan request);
+  Result<Bytes> handle_pread(ByteSpan request);
+  Result<Bytes> handle_pwrite(ByteSpan request);
+  Result<Bytes> handle_stat(ByteSpan request);
+  Result<Bytes> handle_get_chunk(ByteSpan request);
+  Result<Bytes> handle_put_chunk(ByteSpan request);
+  Result<Bytes> handle_truncate(ByteSpan request);
+  Result<Bytes> handle_remove(ByteSpan request);
+  Result<Bytes> handle_list(ByteSpan request);
+  Result<Bytes> handle_checksum(ByteSpan request);
+
+  std::filesystem::path root_;
+  net::RpcServer rpc_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, OpenFile> handles_;
+  std::uint64_t next_handle_ = 1;
+};
+
+}  // namespace griddles::remote

@@ -1,0 +1,91 @@
+// Replica catalog: the stand-in for the Globus Replica Catalogue / SRB.
+//
+// Maps a logical file name to the set of physical copies on the grid.
+// The File Multiplexer resolves replicated opens here, then picks a copy
+// using NWS link estimates (selector.h).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/net/rpc.h"
+#include "src/xdr/codec.h"
+
+namespace griddles::replica {
+
+/// One physical copy of a logical file.
+struct PhysicalReplica {
+  std::string host;             // machine holding the copy
+  std::string server_endpoint;  // file server serving it
+  std::string path;             // path on that server
+  std::uint64_t size = 0;
+  std::uint64_t checksum = 0;   // fnv1a of contents (0 = unknown)
+
+  friend bool operator==(const PhysicalReplica&,
+                         const PhysicalReplica&) = default;
+};
+
+void encode_replica(xdr::Encoder& enc, const PhysicalReplica& replica);
+Result<PhysicalReplica> decode_replica(xdr::Decoder& dec);
+
+/// In-memory catalog (thread-safe).
+class Catalog {
+ public:
+  /// Registers (or refreshes) a copy; keyed by (logical, host).
+  void add(const std::string& logical_name, PhysicalReplica replica);
+
+  /// Removes the copy held by `host`; returns whether one existed.
+  bool remove(const std::string& logical_name, const std::string& host);
+
+  /// All copies of a logical file (kNotFound when none).
+  Result<std::vector<PhysicalReplica>> lookup(
+      const std::string& logical_name) const;
+
+  std::vector<std::string> logical_names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<PhysicalReplica>> replicas_;
+};
+
+enum class Method : std::uint16_t {
+  kLookup = 1,
+  kAdd = 2,
+  kRemove = 3,
+  kList = 4,
+};
+
+/// Serves a Catalog over RPC.
+class CatalogServer {
+ public:
+  CatalogServer(Catalog& catalog, net::Transport& transport,
+                net::Endpoint bind);
+
+  Status start() { return rpc_.start(); }
+  void stop() { rpc_.stop(); }
+  net::Endpoint endpoint() const { return rpc_.endpoint(); }
+
+ private:
+  Catalog& catalog_;
+  net::RpcServer rpc_;
+};
+
+class CatalogClient {
+ public:
+  CatalogClient(net::Transport& transport, net::Endpoint server);
+
+  Result<std::vector<PhysicalReplica>> lookup(
+      const std::string& logical_name);
+  Status add(const std::string& logical_name,
+             const PhysicalReplica& replica);
+  Status remove(const std::string& logical_name, const std::string& host);
+  Result<std::vector<std::string>> list();
+
+ private:
+  net::RpcClient rpc_;
+};
+
+}  // namespace griddles::replica

@@ -1,0 +1,93 @@
+#include "src/sched/scheduler.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/strings.h"
+#include "src/desim/predict.h"
+
+namespace griddles::workflow {
+
+namespace {
+
+Result<double> score(const std::string& name,
+                     const std::vector<apps::AppKernel>& pipeline,
+                     const std::vector<std::string>& machines,
+                     const WorkflowRunner::Options& options) {
+  GL_ASSIGN_OR_RETURN(
+      const WorkflowSpec spec,
+      WorkflowSpec::from_pipeline(name, pipeline, machines));
+  GL_ASSIGN_OR_RETURN(const desim::Prediction prediction,
+                      desim::predict(spec, options));
+  return prediction.total_seconds;
+}
+
+}  // namespace
+
+Result<ScheduleResult> Scheduler::schedule(
+    const std::string& name, const std::vector<apps::AppKernel>& pipeline,
+    const std::vector<std::string>& candidates, const Options& options) {
+  if (pipeline.empty()) return invalid_argument("empty pipeline");
+  if (candidates.empty()) return invalid_argument("no candidate machines");
+  for (const std::string& machine : candidates) {
+    GL_RETURN_IF_ERROR(testbed::find_machine(machine).status());
+  }
+
+  const double combos =
+      std::pow(static_cast<double>(candidates.size()),
+               static_cast<double>(pipeline.size()));
+
+  ScheduleResult best;
+  best.predicted_seconds = std::numeric_limits<double>::infinity();
+
+  if (combos <= static_cast<double>(options.exhaustive_limit)) {
+    // Exhaustive: enumerate candidate^tasks assignments.
+    std::vector<std::size_t> index(pipeline.size(), 0);
+    while (true) {
+      std::vector<std::string> machines;
+      machines.reserve(pipeline.size());
+      for (const std::size_t i : index) machines.push_back(candidates[i]);
+      GL_ASSIGN_OR_RETURN(const double predicted,
+                          score(name, pipeline, machines,
+                                options.runner));
+      ++best.candidates_scored;
+      if (predicted < best.predicted_seconds) {
+        best.predicted_seconds = predicted;
+        best.machines = std::move(machines);
+      }
+      // Advance the mixed-radix counter.
+      std::size_t position = 0;
+      while (position < index.size() &&
+             ++index[position] == candidates.size()) {
+        index[position++] = 0;
+      }
+      if (position == index.size()) break;
+    }
+    return best;
+  }
+
+  // Greedy: assign stages in order, each to the machine minimizing the
+  // predicted time of the prefix (unassigned stages pinned to the
+  // current best single machine as a placeholder).
+  std::vector<std::string> machines(pipeline.size(), candidates.front());
+  for (std::size_t stage = 0; stage < pipeline.size(); ++stage) {
+    double best_stage = std::numeric_limits<double>::infinity();
+    std::string best_machine = candidates.front();
+    for (const std::string& machine : candidates) {
+      machines[stage] = machine;
+      GL_ASSIGN_OR_RETURN(const double predicted,
+                          score(name, pipeline, machines, options.runner));
+      ++best.candidates_scored;
+      if (predicted < best_stage) {
+        best_stage = predicted;
+        best_machine = machine;
+      }
+    }
+    machines[stage] = best_machine;
+    best.predicted_seconds = best_stage;
+  }
+  best.machines = machines;
+  return best;
+}
+
+}  // namespace griddles::workflow

@@ -1,0 +1,46 @@
+// Coupling-aware workflow scheduling (the paper's future work, §6):
+//
+//   "the scheduler needs to take account of whether the workflow is
+//    configured to copy files or use direct connections, since both
+//    impose different scheduling constraints."
+//
+// The scheduler searches machine assignments for a pipeline and scores
+// each candidate with the analytic predictor under the *chosen coupling
+// discipline* — so the same pipeline lands on different machines when
+// coupled by buffers (favouring links that stream well) than when
+// coupled by copies (favouring raw speed, paying bulk copies between
+// stages). Exhaustive for small problems, greedy stage-by-stage beyond
+// that.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/workflow/runner.h"
+
+namespace griddles::workflow {
+
+struct ScheduleResult {
+  std::vector<std::string> machines;  // one per task
+  double predicted_seconds = 0;
+  std::size_t candidates_scored = 0;
+};
+
+class Scheduler {
+ public:
+  struct Options {
+    /// Coupling discipline the schedule will run under.
+    WorkflowRunner::Options runner;
+    /// Above this many assignment combinations, fall back to greedy.
+    std::size_t exhaustive_limit = 20000;
+  };
+
+  /// Picks a machine (from `candidates`) for every task of `pipeline`
+  /// to minimize the predicted completion time.
+  static Result<ScheduleResult> schedule(
+      const std::string& name,
+      const std::vector<apps::AppKernel>& pipeline,
+      const std::vector<std::string>& candidates, const Options& options);
+};
+
+}  // namespace griddles::workflow

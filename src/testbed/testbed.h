@@ -1,0 +1,118 @@
+// The paper's Table 1 testbed, as a model.
+//
+// Machine compute speeds are calibrated from Table 3 (the C-CAM column):
+// speed = C-CAM work units / measured seconds, with C-CAM fixed at 2800
+// units. Machines absent from Table 3 (jagan, koume00) are extrapolated
+// from their clock speeds relative to same-family machines. Disk rates
+// and WAN link parameters are fitted so Table 4's file-vs-buffer gaps and
+// Table 5's file-copy durations land near the paper's (see DESIGN.md §5).
+//
+// MachineRuntime executes synthetic app kernels against a model Clock:
+// compute time-shares the CPU among concurrent processes (which is what
+// produces Table 4's multiprogramming behaviour) and local file traffic
+// serializes through a modelled disk.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/net/inproc.h"
+
+namespace griddles::testbed {
+
+struct MachineSpec {
+  std::string name;
+  std::string site;     // machines at one site share a LAN
+  std::string country;
+  double speed = 1.0;          // work units per model second
+  double disk_mb_per_s = 20;   // effective local file streaming rate
+  /// CPU cost (work units) of pushing one 4 KiB block through the Grid
+  /// Buffer service stack on this machine — the SOAP/Web-Services tax of
+  /// §4, fitted per machine so Table 4's dione/vpac27 exceptions appear.
+  double ipc_units_per_block = 0.001;
+  std::string description;     // the Table 1 hardware line
+};
+
+/// The seven Table 1 machines with calibrated parameters.
+const std::vector<MachineSpec>& paper_machines();
+
+Result<MachineSpec> find_machine(const std::string& name);
+
+/// One-way latency and bandwidth between two sites (2003-era WAN fits).
+struct LinkSpec {
+  double latency_s = 0;
+  double mb_per_s = 0;
+};
+
+LinkSpec link_between(const MachineSpec& a, const MachineSpec& b);
+
+/// Installs every machine-pair link of the paper testbed into a table.
+void install_paper_links(net::LinkTable& links);
+
+/// Real-mode execution resource for one machine.
+class MachineRuntime {
+ public:
+  MachineRuntime(MachineSpec spec, Clock& clock);
+
+  /// Burns `work_units` of CPU under processor sharing: with N runnable
+  /// processes each proceeds at speed/N.
+  void compute(double work_units);
+
+  /// Charges `bytes` of local disk traffic (serialized per machine).
+  void disk_transfer(std::uint64_t bytes);
+
+  const MachineSpec& spec() const noexcept { return spec_; }
+  int current_load() const noexcept { return load_.load(); }
+
+ private:
+  MachineSpec spec_;
+  Clock& clock_;
+  std::atomic<int> load_{0};
+  std::mutex disk_mu_;
+  Duration disk_free_at_{0};
+};
+
+/// A whole scaled-time testbed: clock, modelled network, machine
+/// runtimes, and per-machine scratch directories.
+class TestbedRuntime {
+ public:
+  /// `wall_per_model`: wall seconds per model second (e.g. 1/600.0 runs
+  /// ten model minutes per wall second). `work_root`: directory that
+  /// receives one subdirectory per machine. `byte_scale`: divide every
+  /// real byte count by this factor while keeping model times identical
+  /// (machine disk rates and per-block costs are rescaled to match), so a
+  /// 180 MB paper file can be replayed as 180/byte_scale MB of real data.
+  TestbedRuntime(double wall_per_model, std::string work_root,
+                 double byte_scale = 1.0);
+
+  double byte_scale() const noexcept { return byte_scale_; }
+
+  Clock& clock() noexcept { return clock_; }
+  net::InProcNetwork& network() noexcept { return network_; }
+
+  /// Lazily creates the runtime for a paper machine.
+  Result<MachineRuntime*> machine(const std::string& name);
+
+  /// The machine's working directory (created on first use).
+  Result<std::string> machine_dir(const std::string& name);
+
+  /// A transport originating from the machine.
+  std::unique_ptr<net::Transport> transport(const std::string& name) {
+    return network_.transport(name);
+  }
+
+ private:
+  ScaledClock clock_;
+  net::InProcNetwork network_;
+  std::string work_root_;
+  double byte_scale_;
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<MachineRuntime>> machines_;
+};
+
+}  // namespace griddles::testbed

@@ -1,0 +1,27 @@
+#include "src/vfs/file_client.h"
+
+namespace griddles::vfs {
+
+Result<Bytes> read_all(FileClient& file, std::size_t chunk_size) {
+  Bytes out;
+  Bytes chunk(chunk_size);
+  while (true) {
+    GL_ASSIGN_OR_RETURN(const std::size_t n,
+                        file.read({chunk.data(), chunk.size()}));
+    if (n == 0) return out;
+    out.insert(out.end(), chunk.begin(), chunk.begin() + n);
+  }
+}
+
+Status write_all(FileClient& file, ByteSpan data) {
+  std::size_t put = 0;
+  while (put < data.size()) {
+    GL_ASSIGN_OR_RETURN(const std::size_t n,
+                        file.write(data.subspan(put)));
+    if (n == 0) return io_error("write made no progress");
+    put += n;
+  }
+  return Status::ok();
+}
+
+}  // namespace griddles::vfs

@@ -1,0 +1,89 @@
+// FileClient: the uniform file-operation interface behind the File
+// Multiplexer (paper Figure 4).
+//
+// Every IO mechanism — local files, remote proxy access, staged copies,
+// replicated files, Grid Buffer streams — implements this interface, so
+// the application-facing FM can swap mechanisms per OPEN without the
+// application noticing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace griddles::vfs {
+
+/// Open disposition, modelled on legacy fopen semantics.
+struct OpenFlags {
+  bool read = false;
+  bool write = false;
+  bool create = false;
+  bool truncate = false;
+  bool append = false;
+
+  /// "r": read an existing file.
+  static OpenFlags input() { return {.read = true}; }
+  /// "w": create/truncate for writing.
+  static OpenFlags output() {
+    return {.write = true, .create = true, .truncate = true};
+  }
+  /// "r+": read and write an existing file.
+  static OpenFlags update() { return {.read = true, .write = true}; }
+  /// "a": append, creating if needed.
+  static OpenFlags appending() {
+    return {.write = true, .create = true, .append = true};
+  }
+
+  bool readable() const noexcept { return read; }
+  bool writable() const noexcept { return write; }
+};
+
+enum class Whence : std::uint8_t { kSet = 0, kCurrent = 1, kEnd = 2 };
+
+/// One open file, whatever its transport. Implementations are not
+/// required to be thread-safe: like a POSIX fd cursor, each open file is
+/// driven by one application thread.
+class FileClient {
+ public:
+  virtual ~FileClient() = default;
+
+  /// Reads at the cursor. Returns the byte count; 0 means end-of-file.
+  /// A Grid Buffer reader blocks here until the writer produces the data
+  /// or closes the channel.
+  virtual Result<std::size_t> read(MutableByteSpan out) = 0;
+
+  /// Writes at the cursor; returns bytes accepted (always all, or error).
+  virtual Result<std::size_t> write(ByteSpan data) = 0;
+
+  /// Moves the cursor; returns the new absolute offset.
+  /// Whence::kEnd on a still-streaming Grid Buffer blocks until EOF is
+  /// known (the writer closed).
+  virtual Result<std::uint64_t> seek(std::int64_t offset, Whence whence) = 0;
+
+  /// Current cursor position.
+  virtual std::uint64_t tell() const = 0;
+
+  /// Total size, when knowable (kUnavailable for an unfinished stream).
+  virtual Result<std::uint64_t> size() = 0;
+
+  /// Pushes buffered writes toward their destination.
+  virtual Status flush() = 0;
+
+  /// Completes the file: flushes, publishes EOF / copies back staged
+  /// data. Idempotent. The destructor closes with best effort.
+  virtual Status close() = 0;
+
+  /// Diagnostic label, e.g. "local:/tmp/x" or "gridbuffer:job.sf".
+  virtual std::string describe() const = 0;
+};
+
+/// Reads until EOF into a byte vector (helper for tests and staging).
+Result<Bytes> read_all(FileClient& file, std::size_t chunk_size = 1 << 16);
+
+/// Writes the whole span through possibly-partial writes.
+Status write_all(FileClient& file, ByteSpan data);
+
+}  // namespace griddles::vfs

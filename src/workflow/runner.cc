@@ -1,0 +1,391 @@
+#include "src/workflow/runner.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/core/tailing_client.h"
+#include "src/gns/service.h"
+#include "src/remote/copier.h"
+#include "src/vfs/local_client.h"
+
+namespace griddles::workflow {
+
+namespace {
+std::string canonical_in(const std::string& dir, const std::string& path) {
+  return (std::filesystem::path(dir) / path).lexically_normal().string();
+}
+
+/// Writes an external input file with the deterministic stream content.
+Status materialize_stream(const std::string& full_path,
+                          const std::string& open_name,
+                          std::uint64_t bytes) {
+  GL_ASSIGN_OR_RETURN(auto file, vfs::LocalFileClient::open(
+                                     full_path, vfs::OpenFlags::output()));
+  Bytes chunk(64 * 1024);
+  std::uint64_t offset = 0;
+  while (offset < bytes) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(chunk.size(), bytes - offset));
+    apps::fill_stream(open_name, offset, {chunk.data(), want});
+    GL_RETURN_IF_ERROR(vfs::write_all(*file, {chunk.data(), want}));
+    offset += want;
+  }
+  return file->close();
+}
+}  // namespace
+
+std::string_view coupling_mode_name(CouplingMode mode) noexcept {
+  switch (mode) {
+    case CouplingMode::kSequentialFiles: return "sequential-files";
+    case CouplingMode::kConcurrentFiles: return "concurrent-files";
+    case CouplingMode::kGridBuffers: return "grid-buffers";
+  }
+  return "?";
+}
+
+const TaskResult* WorkflowReport::task(const std::string& name) const {
+  for (const TaskResult& result : tasks) {
+    if (result.name == name) return &result;
+  }
+  return nullptr;
+}
+
+struct WorkflowRunner::RunContext {
+  gns::Database db;
+  std::unique_ptr<net::Transport> service_transport;
+  std::unique_ptr<gns::GnsServer> gns_server;
+  net::Endpoint gns_endpoint;
+
+  std::map<std::string, std::string> dirs;
+  std::map<std::string, std::unique_ptr<net::Transport>> server_transports;
+  std::map<std::string, std::unique_ptr<remote::FileServer>> file_servers;
+  std::map<std::string, std::unique_ptr<gridbuffer::GridBufferServer>>
+      buffer_servers;
+  Duration start{0};
+  std::string run_tag;
+};
+
+Result<WorkflowReport> WorkflowRunner::run(const WorkflowSpec& spec,
+                                           const Options& options) {
+  GL_ASSIGN_OR_RETURN(const std::vector<Edge> edges, infer_edges(spec));
+  GL_ASSIGN_OR_RETURN(const std::vector<std::size_t> order,
+                      topological_order(spec, edges));
+  if (spec.tasks.empty()) {
+    return invalid_argument("workflow has no tasks");
+  }
+
+  RunContext ctx;
+  // A unique tag per run isolates GNS/service endpoints and channels.
+  static std::atomic<std::uint64_t> run_counter{0};
+  ctx.run_tag = strings::cat(spec.name, "-", run_counter.fetch_add(1));
+
+  for (const TaskSpec& task : spec.tasks) {
+    if (!ctx.dirs.contains(task.machine)) {
+      GL_ASSIGN_OR_RETURN(ctx.dirs[task.machine],
+                          testbed_.machine_dir(task.machine));
+    }
+  }
+
+  // The GNS lives with the first task's machine (paper §3.2: each
+  // workflow may have its own GNS).
+  const std::string& gns_host = spec.tasks.front().machine;
+  ctx.service_transport = testbed_.transport(gns_host);
+  ctx.gns_server = std::make_unique<gns::GnsServer>(
+      ctx.db, *ctx.service_transport,
+      net::inproc_endpoint(gns_host, strings::cat("gns-", ctx.run_tag)));
+  GL_RETURN_IF_ERROR(ctx.gns_server->start());
+  ctx.gns_endpoint = ctx.gns_server->endpoint();
+
+  GL_RETURN_IF_ERROR(prepare_external_inputs(spec, edges, ctx));
+  GL_RETURN_IF_ERROR(install_rules(spec, edges, options, ctx));
+
+  WorkflowReport report;
+  ctx.start = testbed_.clock().now();
+
+  if (options.mode == CouplingMode::kSequentialFiles) {
+    for (const std::size_t index : order) {
+      GL_ASSIGN_OR_RETURN(TaskResult result,
+                          run_task(spec, index, options, ctx));
+      report.tasks.push_back(result);
+
+      // Stage outputs that remote consumers need (GridFTP-style copy).
+      const TaskSpec& producer = spec.tasks[index];
+      for (const Edge& edge : edges) {
+        if (edge.producer != index) continue;
+        std::vector<std::string> destinations;
+        for (const std::size_t consumer : edge.consumers) {
+          const std::string& machine = spec.tasks[consumer].machine;
+          if (machine != producer.machine &&
+              std::find(destinations.begin(), destinations.end(),
+                        machine) == destinations.end()) {
+            destinations.push_back(machine);
+          }
+        }
+        for (const std::string& destination : destinations) {
+          auto& server = ctx.file_servers[producer.machine];
+          if (!server) {
+            return internal_error("file server missing for copies");
+          }
+          auto transport = testbed_.transport(destination);
+          remote::FileCopier::Options copy_options;
+          copy_options.chunk_size = options.copy_chunk;
+          copy_options.parallel_streams = options.copy_streams;
+          remote::FileCopier copier(*transport, testbed_.clock(),
+                                    copy_options);
+          GL_ASSIGN_OR_RETURN(
+              const remote::CopyStats stats,
+              copier.fetch(server->endpoint(), edge.path,
+                           canonical_in(ctx.dirs[destination], edge.path)));
+          CopyResult copy;
+          copy.path = edge.path;
+          copy.from = producer.machine;
+          copy.to = destination;
+          copy.seconds = stats.seconds;
+          copy.finished_s = to_seconds_d(testbed_.clock().now() - ctx.start);
+          report.copies.push_back(copy);
+        }
+      }
+    }
+  } else {
+    // Concurrent disciplines: every stage starts at once.
+    std::vector<std::thread> threads;
+    std::vector<Result<TaskResult>> results(
+        spec.tasks.size(), Result<TaskResult>(internal_error("not run")));
+    threads.reserve(spec.tasks.size());
+    for (std::size_t index = 0; index < spec.tasks.size(); ++index) {
+      threads.emplace_back([&, index] {
+        results[index] = run_task(spec, index, options, ctx);
+        // Publish completion markers so tailing readers can see EOF.
+        if (options.mode == CouplingMode::kConcurrentFiles &&
+            results[index].is_ok()) {
+          const TaskSpec& task = spec.tasks[index];
+          for (const apps::StreamSpec& out : task.kernel.outputs) {
+            const std::string marker = core::TailingLocalFileClient::
+                done_marker(canonical_in(ctx.dirs.at(task.machine),
+                                         out.path));
+            std::ofstream(marker).put('\n');
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    for (std::size_t index = 0; index < spec.tasks.size(); ++index) {
+      GL_ASSIGN_OR_RETURN(TaskResult result, std::move(results[index]));
+      report.tasks.push_back(result);
+    }
+    std::sort(report.tasks.begin(), report.tasks.end(),
+              [](const TaskResult& a, const TaskResult& b) {
+                return a.finished_s < b.finished_s;
+              });
+  }
+
+  for (const TaskResult& task : report.tasks) {
+    report.total_seconds = std::max(report.total_seconds, task.finished_s);
+  }
+  for (const CopyResult& copy : report.copies) {
+    report.total_seconds = std::max(report.total_seconds, copy.finished_s);
+  }
+
+  // Tear down per-run services.
+  for (auto& [machine, server] : ctx.buffer_servers) server->stop();
+  for (auto& [machine, server] : ctx.file_servers) server->stop();
+  ctx.gns_server->stop();
+  return report;
+}
+
+Status WorkflowRunner::prepare_external_inputs(const WorkflowSpec& spec,
+                                               const std::vector<Edge>& edges,
+                                               RunContext& ctx) {
+  for (std::size_t t = 0; t < spec.tasks.size(); ++t) {
+    for (const apps::StreamSpec& input : external_inputs(spec, edges, t)) {
+      const std::string full =
+          canonical_in(ctx.dirs.at(spec.tasks[t].machine), input.path);
+      GL_RETURN_IF_ERROR(materialize_stream(full, input.path, input.bytes));
+    }
+  }
+  return Status::ok();
+}
+
+Status WorkflowRunner::install_rules(const WorkflowSpec& spec,
+                                     const std::vector<Edge>& edges,
+                                     const Options& options,
+                                     RunContext& ctx) {
+  switch (options.mode) {
+    case CouplingMode::kSequentialFiles: {
+      // Plain local IO everywhere; cross-machine edges need the
+      // producer's file server up for the staging copies.
+      for (const Edge& edge : edges) {
+        const std::string& producer_machine =
+            spec.tasks[edge.producer].machine;
+        const bool crosses = std::any_of(
+            edge.consumers.begin(), edge.consumers.end(),
+            [&](std::size_t c) {
+              return spec.tasks[c].machine != producer_machine;
+            });
+        if (!crosses) continue;
+        auto& server = ctx.file_servers[producer_machine];
+        if (!server) {
+          auto& transport = ctx.server_transports[producer_machine];
+          transport = testbed_.transport(producer_machine);
+          server = std::make_unique<remote::FileServer>(
+              ctx.dirs.at(producer_machine), *transport,
+              net::inproc_endpoint(producer_machine,
+                                   strings::cat("fs-", ctx.run_tag)));
+          GL_RETURN_IF_ERROR(server->start());
+        }
+      }
+      return Status::ok();
+    }
+
+    case CouplingMode::kConcurrentFiles: {
+      // Tail-read every edge file. (The paper ran this on one machine;
+      // we also require it, since a tailing read needs a shared FS.)
+      for (const TaskSpec& task : spec.tasks) {
+        if (task.machine != spec.tasks.front().machine) {
+          return invalid_argument(
+              "concurrent-files coupling requires a single machine");
+        }
+      }
+      for (const Edge& edge : edges) {
+        for (const std::size_t consumer : edge.consumers) {
+          const std::string& machine = spec.tasks[consumer].machine;
+          gns::MappingRule rule;
+          rule.host_pattern = machine;
+          rule.path_pattern = canonical_in(ctx.dirs.at(machine), edge.path);
+          rule.mapping.mode = gns::IoMode::kLocal;
+          rule.mapping.tail = true;
+          ctx.db.add_rule(rule);
+        }
+      }
+      return Status::ok();
+    }
+
+    case CouplingMode::kGridBuffers: {
+      for (const Edge& edge : edges) {
+        // Buffer placed at the (first) reader's end (paper §3.1).
+        const std::string& buffer_machine =
+            spec.tasks[edge.consumers.front()].machine;
+        auto& server = ctx.buffer_servers[buffer_machine];
+        if (!server) {
+          auto& transport = ctx.server_transports[strings::cat(
+              "gbuf-", buffer_machine)];
+          transport = testbed_.transport(buffer_machine);
+          server = std::make_unique<gridbuffer::GridBufferServer>(
+              canonical_in(ctx.dirs.at(buffer_machine), "gbuf-cache"),
+              *transport,
+              net::inproc_endpoint(buffer_machine,
+                                   strings::cat("gbuf-", ctx.run_tag)));
+          GL_RETURN_IF_ERROR(server->start());
+        }
+        const std::string channel = strings::cat(ctx.run_tag, "/",
+                                                 edge.path);
+        const std::string buffer_endpoint =
+            server->endpoint().to_string();
+
+        std::uint32_t block_size = options.buffer_block;
+        if (options.buffer_block_fast_link != 0) {
+          const auto producer_spec =
+              testbed::find_machine(spec.tasks[edge.producer].machine);
+          const auto buffer_spec = testbed::find_machine(buffer_machine);
+          if (producer_spec.is_ok() && buffer_spec.is_ok() &&
+              testbed::link_between(*producer_spec, *buffer_spec)
+                      .latency_s < options.fast_link_latency_s) {
+            // Keep ~64 blocks per stream so small edges still flow with
+            // fine granularity, capped by the configured fast block.
+            const std::uint64_t proportional =
+                std::max<std::uint64_t>(512, edge.bytes / 64);
+            block_size = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                std::max<std::uint64_t>(options.buffer_block,
+                                        proportional),
+                options.buffer_block_fast_link));
+          }
+        }
+
+        gns::FileMapping mapping;
+        mapping.mode = gns::IoMode::kGridBuffer;
+        mapping.channel = channel;
+        mapping.buffer_endpoint = buffer_endpoint;
+        mapping.block_size = block_size;
+        mapping.cache_enabled = options.buffer_cache;
+        mapping.reader_count =
+            static_cast<std::uint32_t>(edge.consumers.size());
+
+        gns::MappingRule producer_rule;
+        producer_rule.host_pattern = spec.tasks[edge.producer].machine;
+        producer_rule.path_pattern = canonical_in(
+            ctx.dirs.at(spec.tasks[edge.producer].machine), edge.path);
+        producer_rule.mapping = mapping;
+        ctx.db.add_rule(producer_rule);
+
+        for (const std::size_t consumer : edge.consumers) {
+          gns::MappingRule consumer_rule;
+          consumer_rule.host_pattern = spec.tasks[consumer].machine;
+          consumer_rule.path_pattern = canonical_in(
+              ctx.dirs.at(spec.tasks[consumer].machine), edge.path);
+          consumer_rule.mapping = mapping;
+          ctx.db.add_rule(consumer_rule);
+        }
+      }
+      return Status::ok();
+    }
+  }
+  return internal_error("unhandled coupling mode");
+}
+
+Result<TaskResult> WorkflowRunner::run_task(const WorkflowSpec& spec,
+                                            std::size_t index,
+                                            const Options& options,
+                                            RunContext& ctx) {
+  const TaskSpec& task = spec.tasks[index];
+  GL_ASSIGN_OR_RETURN(testbed::MachineRuntime* machine,
+                      testbed_.machine(task.machine));
+  auto transport = testbed_.transport(task.machine);
+  gns::GnsClient gns_client(*transport, ctx.gns_endpoint);
+
+  core::FileMultiplexer::Options fm_options;
+  fm_options.host = task.machine;
+  fm_options.local_root = ctx.dirs.at(task.machine);
+  fm_options.scratch_dir = canonical_in(ctx.dirs.at(task.machine),
+                                        "scratch");
+  fm_options.gns = &gns_client;
+  fm_options.transport = transport.get();
+  fm_options.clock = &testbed_.clock();
+  fm_options.buffer.writer_window_blocks = options.writer_window;
+  fm_options.buffer.writer_flusher_threads = options.flusher_threads;
+  fm_options.buffer.read_deadline_ms = options.read_deadline_ms;
+  fm_options.tail_poll_interval = options.poll_interval;
+  if (options.mode == CouplingMode::kConcurrentFiles) {
+    Clock* clock = &testbed_.clock();
+    const double duty = options.poll_duty;
+    fm_options.poll_wait = [machine, clock, duty](Duration interval) {
+      // Polling burns a CPU share: `duty` of the interval is busy work
+      // competing with real compute, the rest is sleep.
+      const double seconds = to_seconds_d(interval);
+      machine->compute(duty * seconds * machine->spec().speed);
+      clock->sleep_for(from_seconds_d(seconds * (1.0 - duty)));
+    };
+  }
+
+  core::FileMultiplexer fm(fm_options);
+  GL_ASSIGN_OR_RETURN(
+      const apps::AppReport app_report,
+      apps::run_app(task.kernel, fm, *machine, testbed_.clock()));
+  GL_RETURN_IF_ERROR(fm.close_all());
+
+  TaskResult result;
+  result.name = task.kernel.name;
+  result.machine = task.machine;
+  result.started_s = to_seconds_d(app_report.started - ctx.start);
+  result.finished_s = to_seconds_d(app_report.finished - ctx.start);
+  result.bytes_read = app_report.bytes_read;
+  result.bytes_written = app_report.bytes_written;
+  GL_LOG(kInfo, "task ", result.name, " on ", result.machine,
+         " finished at ", result.finished_s, "s");
+  return result;
+}
+
+}  // namespace griddles::workflow

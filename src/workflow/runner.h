@@ -1,0 +1,118 @@
+// WorkflowRunner: executes a workflow on the modelled testbed under one
+// of the paper's coupling disciplines.
+//
+//   kSequentialFiles — stages run one after another, conventional local
+//       files (Table 2 exp 1; Table 3). Cross-machine edges are staged
+//       with a GridFTP-style copy between stages and the copy time is
+//       reported (Table 5 "Files" + "File Copy" rows; Table 2 would use
+//       this had its stages been distributed with files).
+//   kConcurrentFiles — every stage launched at once on one machine, edge
+//       files tail-read with poll-and-retry (Table 4 "With Files").
+//   kGridBuffers — every stage launched at once, edges mapped to Grid
+//       Buffer channels with the buffer server at the reader's end
+//       (Table 2 exps 2-3; Table 4 "Buffers"; Table 5 "Buffers").
+//
+// Switching discipline changes ONLY the GNS rules the runner installs —
+// the application kernels are bit-identical across modes, which is the
+// paper's headline claim.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/multiplexer.h"
+#include "src/gridbuffer/server.h"
+#include "src/remote/file_server.h"
+#include "src/testbed/testbed.h"
+#include "src/workflow/spec.h"
+
+namespace griddles::workflow {
+
+enum class CouplingMode {
+  kSequentialFiles,
+  kConcurrentFiles,
+  kGridBuffers,
+};
+
+std::string_view coupling_mode_name(CouplingMode mode) noexcept;
+
+struct TaskResult {
+  std::string name;
+  std::string machine;
+  double started_s = 0;
+  double finished_s = 0;  // cumulative, from workflow start
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+struct CopyResult {
+  std::string path;
+  std::string from;
+  std::string to;
+  double finished_s = 0;  // cumulative time when this copy completed
+  double seconds = 0;
+};
+
+struct WorkflowReport {
+  std::vector<TaskResult> tasks;   // in completion order
+  std::vector<CopyResult> copies;  // staged copies (sequential mode)
+  double total_seconds = 0;
+
+  const TaskResult* task(const std::string& name) const;
+};
+
+class WorkflowRunner {
+ public:
+  struct Options {
+    CouplingMode mode = CouplingMode::kSequentialFiles;
+    /// CPU share a tailing reader burns while polling (kConcurrentFiles).
+    double poll_duty = 0.25;
+    Duration poll_interval = std::chrono::milliseconds(500);
+    /// Grid Buffer channel parameters.
+    std::uint32_t buffer_block = 4096;
+    bool buffer_cache = true;
+    /// Block size override for low-latency (same-site) edges; 0 keeps
+    /// buffer_block. Byte-scaled benches shrink buffer_block to keep WAN
+    /// streams latency-faithful, which makes loopback edges needlessly
+    /// RPC-bound — a larger block there changes no modelled time.
+    std::uint32_t buffer_block_fast_link = 0;
+    /// One-way latency below which an edge counts as "fast" (seconds).
+    double fast_link_latency_s = 0.005;
+    /// Writer pipelining: in-flight blocks ~= flusher_threads, which
+    /// bounds WAN throughput to ~threads*block/RTT (paper-faithful
+    /// latency sensitivity; raise it for the ablation).
+    std::size_t writer_window = 16;
+    int flusher_threads = 4;
+    /// Parallel streams for staged copies.
+    int copy_streams = 4;
+    std::uint32_t copy_chunk = 1u << 20;
+    /// Fail a stuck run after this much wall time per buffer read.
+    std::uint64_t read_deadline_ms = 120000;
+  };
+
+  explicit WorkflowRunner(testbed::TestbedRuntime& testbed)
+      : testbed_(testbed) {}
+
+  /// Runs the workflow; model times in the report are relative to the
+  /// run's start.
+  Result<WorkflowReport> run(const WorkflowSpec& spec,
+                             const Options& options);
+
+ private:
+  struct RunContext;
+
+  Status prepare_external_inputs(const WorkflowSpec& spec,
+                                 const std::vector<Edge>& edges,
+                                 RunContext& ctx);
+  Status install_rules(const WorkflowSpec& spec,
+                       const std::vector<Edge>& edges, const Options& options,
+                       RunContext& ctx);
+  Result<TaskResult> run_task(const WorkflowSpec& spec, std::size_t index,
+                              const Options& options, RunContext& ctx);
+
+  testbed::TestbedRuntime& testbed_;
+};
+
+}  // namespace griddles::workflow

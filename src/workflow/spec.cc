@@ -1,0 +1,111 @@
+#include "src/workflow/spec.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/common/strings.h"
+
+namespace griddles::workflow {
+
+Result<WorkflowSpec> WorkflowSpec::from_pipeline(
+    std::string name, const std::vector<apps::AppKernel>& pipeline,
+    const std::vector<std::string>& machines) {
+  if (machines.empty()) {
+    return invalid_argument("workflow needs at least one machine");
+  }
+  if (machines.size() != 1 && machines.size() != pipeline.size()) {
+    return invalid_argument(
+        strings::cat("expected 1 or ", pipeline.size(), " machines, got ",
+                     machines.size()));
+  }
+  WorkflowSpec spec;
+  spec.name = std::move(name);
+  for (std::size_t i = 0; i < pipeline.size(); ++i) {
+    spec.tasks.push_back(TaskSpec{
+        pipeline[i], machines.size() == 1 ? machines[0] : machines[i]});
+  }
+  return spec;
+}
+
+Result<std::vector<Edge>> infer_edges(const WorkflowSpec& spec) {
+  std::map<std::string, std::size_t> producers;
+  std::map<std::string, std::uint64_t> sizes;
+  for (std::size_t t = 0; t < spec.tasks.size(); ++t) {
+    for (const apps::StreamSpec& out : spec.tasks[t].kernel.outputs) {
+      const auto [it, inserted] = producers.emplace(out.path, t);
+      if (!inserted) {
+        return invalid_argument(
+            strings::cat("two tasks produce '", out.path, "': ",
+                         spec.tasks[it->second].kernel.name, " and ",
+                         spec.tasks[t].kernel.name));
+      }
+      sizes[out.path] = out.bytes;
+    }
+  }
+  std::map<std::string, Edge> edges;
+  for (std::size_t t = 0; t < spec.tasks.size(); ++t) {
+    for (const apps::StreamSpec& in : spec.tasks[t].kernel.inputs) {
+      const auto producer = producers.find(in.path);
+      if (producer == producers.end()) continue;  // external input
+      if (producer->second == t) {
+        return invalid_argument(strings::cat(
+            spec.tasks[t].kernel.name, " reads its own output '", in.path,
+            "'"));
+      }
+      Edge& edge = edges[in.path];
+      edge.path = in.path;
+      edge.bytes = sizes[in.path];
+      edge.producer = producer->second;
+      edge.consumers.push_back(t);
+    }
+  }
+  std::vector<Edge> out;
+  out.reserve(edges.size());
+  for (auto& [path, edge] : edges) out.push_back(std::move(edge));
+  return out;
+}
+
+Result<std::vector<std::size_t>> topological_order(
+    const WorkflowSpec& spec, const std::vector<Edge>& edges) {
+  std::vector<std::size_t> in_degree(spec.tasks.size(), 0);
+  std::vector<std::vector<std::size_t>> successors(spec.tasks.size());
+  for (const Edge& edge : edges) {
+    for (const std::size_t consumer : edge.consumers) {
+      successors[edge.producer].push_back(consumer);
+      ++in_degree[consumer];
+    }
+  }
+  std::deque<std::size_t> ready;
+  for (std::size_t t = 0; t < spec.tasks.size(); ++t) {
+    if (in_degree[t] == 0) ready.push_back(t);
+  }
+  std::vector<std::size_t> order;
+  while (!ready.empty()) {
+    const std::size_t t = ready.front();
+    ready.pop_front();
+    order.push_back(t);
+    for (const std::size_t next : successors[t]) {
+      if (--in_degree[next] == 0) ready.push_back(next);
+    }
+  }
+  if (order.size() != spec.tasks.size()) {
+    return invalid_argument(
+        strings::cat("workflow '", spec.name, "' has a cycle"));
+  }
+  return order;
+}
+
+std::vector<apps::StreamSpec> external_inputs(const WorkflowSpec& spec,
+                                              const std::vector<Edge>& edges,
+                                              std::size_t task) {
+  std::vector<apps::StreamSpec> externals;
+  for (const apps::StreamSpec& in : spec.tasks[task].kernel.inputs) {
+    const bool produced = std::any_of(
+        edges.begin(), edges.end(),
+        [&](const Edge& edge) { return edge.path == in.path; });
+    if (!produced) externals.push_back(in);
+  }
+  return externals;
+}
+
+}  // namespace griddles::workflow

@@ -1,0 +1,51 @@
+// Workflow specifications: tasks (app kernels pinned to machines) and the
+// file edges between them, inferred by matching output paths to input
+// paths — the same implicit coupling legacy pipelines have.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/apps/kernel.h"
+
+namespace griddles::workflow {
+
+struct TaskSpec {
+  apps::AppKernel kernel;
+  std::string machine;  // a Table 1 machine name
+};
+
+/// A producer-to-consumers file dependency.
+struct Edge {
+  std::string path;            // the file name both sides open
+  std::uint64_t bytes = 0;
+  std::size_t producer = 0;    // task index
+  std::vector<std::size_t> consumers;
+};
+
+struct WorkflowSpec {
+  std::string name;
+  std::vector<TaskSpec> tasks;
+
+  /// Builds one spec from a pipeline definition with a machine per stage
+  /// (machines.size() == 1 pins everything to that machine).
+  static Result<WorkflowSpec> from_pipeline(
+      std::string name, const std::vector<apps::AppKernel>& pipeline,
+      const std::vector<std::string>& machines);
+};
+
+/// Infers file edges; fails on a path with two producers.
+Result<std::vector<Edge>> infer_edges(const WorkflowSpec& spec);
+
+/// Kahn topological order of task indices (edges as dependencies);
+/// fails on a cycle.
+Result<std::vector<std::size_t>> topological_order(
+    const WorkflowSpec& spec, const std::vector<Edge>& edges);
+
+/// Input paths of a task that no task produces (must pre-exist).
+std::vector<apps::StreamSpec> external_inputs(const WorkflowSpec& spec,
+                                              const std::vector<Edge>& edges,
+                                              std::size_t task);
+
+}  // namespace griddles::workflow

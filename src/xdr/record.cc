@@ -1,0 +1,125 @@
+#include "src/xdr/record.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace griddles::xdr {
+
+std::size_t field_width(FieldType type) noexcept {
+  switch (type) {
+    case FieldType::kChar8: return 1;
+    case FieldType::kInt16: return 2;
+    case FieldType::kInt32: return 4;
+    case FieldType::kInt64: return 8;
+    case FieldType::kFloat32: return 4;
+    case FieldType::kFloat64: return 8;
+  }
+  return 1;
+}
+
+std::string_view field_type_name(FieldType type) noexcept {
+  switch (type) {
+    case FieldType::kChar8: return "c8";
+    case FieldType::kInt16: return "i16";
+    case FieldType::kInt32: return "i32";
+    case FieldType::kInt64: return "i64";
+    case FieldType::kFloat32: return "f32";
+    case FieldType::kFloat64: return "f64";
+  }
+  return "c8";
+}
+
+RecordSchema::RecordSchema(std::vector<Field> fields)
+    : fields_(std::move(fields)) {
+  for (const Field& f : fields_) record_size_ += f.byte_size();
+}
+
+Result<RecordSchema> RecordSchema::parse(std::string_view text) {
+  std::vector<Field> fields;
+  for (const std::string& token_raw : strings::split(text, ',')) {
+    const std::string_view token = strings::trim(token_raw);
+    if (token.empty()) {
+      return invalid_argument("record schema: empty field token");
+    }
+    std::string_view type_text = token;
+    std::size_t count = 1;
+    const std::size_t bracket = token.find('[');
+    if (bracket != std::string_view::npos) {
+      if (token.back() != ']') {
+        return invalid_argument(
+            strings::cat("record schema: malformed array '", token, "'"));
+      }
+      type_text = strings::trim(token.substr(0, bracket));
+      const auto parsed = strings::parse_int(
+          token.substr(bracket + 1, token.size() - bracket - 2));
+      if (!parsed || *parsed <= 0) {
+        return invalid_argument(
+            strings::cat("record schema: bad array length in '", token, "'"));
+      }
+      count = static_cast<std::size_t>(*parsed);
+    }
+    FieldType type;
+    if (type_text == "c8") {
+      type = FieldType::kChar8;
+    } else if (type_text == "i16") {
+      type = FieldType::kInt16;
+    } else if (type_text == "i32") {
+      type = FieldType::kInt32;
+    } else if (type_text == "i64") {
+      type = FieldType::kInt64;
+    } else if (type_text == "f32") {
+      type = FieldType::kFloat32;
+    } else if (type_text == "f64") {
+      type = FieldType::kFloat64;
+    } else {
+      return invalid_argument(
+          strings::cat("record schema: unknown type '", type_text, "'"));
+    }
+    fields.push_back(Field{type, count});
+  }
+  if (fields.empty()) {
+    return invalid_argument("record schema: no fields");
+  }
+  return RecordSchema(std::move(fields));
+}
+
+std::string RecordSchema::to_string() const {
+  std::string out;
+  for (const Field& f : fields_) {
+    if (!out.empty()) out += ", ";
+    out += field_type_name(f.type);
+    if (f.count != 1) {
+      out += strings::cat("[", f.count, "]");
+    }
+  }
+  return out;
+}
+
+Status RecordSchema::swap_records(MutableByteSpan data) const {
+  if (record_size_ == 0) {
+    return failed_precondition("record schema is empty");
+  }
+  if (data.size() % record_size_ != 0) {
+    return invalid_argument(strings::cat(
+        "buffer of ", data.size(), " bytes is not a whole number of ",
+        record_size_, "-byte records"));
+  }
+  for (std::size_t record = 0; record < data.size(); record += record_size_) {
+    std::size_t offset = record;
+    for (const Field& f : fields_) {
+      const std::size_t width = field_width(f.type);
+      if (width == 1) {
+        offset += f.byte_size();
+        continue;
+      }
+      for (std::size_t i = 0; i < f.count; ++i) {
+        std::reverse(data.begin() + offset, data.begin() + offset + width);
+        offset += width;
+      }
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace griddles::xdr

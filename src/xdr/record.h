@@ -1,0 +1,79 @@
+// Record schemas for legacy binary files (paper §3.3, "Handling
+// Heterogeneity").
+//
+// Legacy Fortran/C codes write fixed-layout binary records. When the two
+// endpoints of a GriddLeS channel have different byte orders, the File
+// Multiplexer reorders the bytes of each field in flight, guided by a
+// schema such as "f64[3], i32, c8[16]". A schema can be attached to a GNS
+// mapping so reordering happens transparently to the application.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace griddles::xdr {
+
+enum class FieldType : std::uint8_t {
+  kChar8,    // opaque bytes, never reordered
+  kInt16,
+  kInt32,
+  kInt64,
+  kFloat32,
+  kFloat64,
+};
+
+/// Width of one element of the field type, in bytes.
+std::size_t field_width(FieldType type) noexcept;
+
+/// Short name ("f64", "i32", "c8").
+std::string_view field_type_name(FieldType type) noexcept;
+
+struct Field {
+  FieldType type;
+  std::size_t count = 1;  // array length; 1 for scalars
+
+  std::size_t byte_size() const noexcept { return field_width(type) * count; }
+  friend bool operator==(const Field&, const Field&) = default;
+};
+
+/// The fixed layout of one record.
+class RecordSchema {
+ public:
+  RecordSchema() = default;
+  explicit RecordSchema(std::vector<Field> fields);
+
+  /// Parses "f64[3], i32, c8[16]" (whitespace optional).
+  static Result<RecordSchema> parse(std::string_view text);
+
+  /// Inverse of parse().
+  std::string to_string() const;
+
+  const std::vector<Field>& fields() const noexcept { return fields_; }
+  std::size_t record_size() const noexcept { return record_size_; }
+
+  /// Byte-swaps every multi-byte field of every record in `data`, in
+  /// place. `data` must be a whole number of records. Swapping is an
+  /// involution: applying it twice restores the input.
+  Status swap_records(MutableByteSpan data) const;
+
+  /// Reorders from one endianness to another (no-op when equal).
+  Status reorder(MutableByteSpan data, std::endian from,
+                 std::endian to) const {
+    if (from == to) return Status::ok();
+    return swap_records(data);
+  }
+
+  friend bool operator==(const RecordSchema&, const RecordSchema&) = default;
+
+ private:
+  std::vector<Field> fields_;
+  std::size_t record_size_ = 0;
+};
+
+}  // namespace griddles::xdr

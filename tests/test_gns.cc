@@ -1,0 +1,241 @@
+// Tests for the GriddLeS Name Service: mapping model, database
+// semantics, config loading, server/client, cache behaviour, dynamic
+// remapping.
+#include <gtest/gtest.h>
+
+#include "src/common/clock.h"
+#include "src/gns/service.h"
+#include "src/net/inproc.h"
+
+namespace griddles::gns {
+namespace {
+
+TEST(IoModeTest, NamesRoundTrip) {
+  for (const IoMode mode :
+       {IoMode::kLocal, IoMode::kRemoteCopy, IoMode::kRemoteProxy,
+        IoMode::kReplicated, IoMode::kGridBuffer, IoMode::kAuto}) {
+    auto parsed = io_mode_from_name(io_mode_name(mode));
+    ASSERT_TRUE(parsed.is_ok());
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(io_mode_from_name("bogus").is_ok());
+}
+
+FileMapping sample_mapping() {
+  FileMapping mapping;
+  mapping.mode = IoMode::kGridBuffer;
+  mapping.channel = "wf/JOB.SF";
+  mapping.buffer_endpoint = "inproc://dione/gbuf";
+  mapping.cache_enabled = false;
+  mapping.block_size = 8192;
+  mapping.reader_count = 3;
+  mapping.record_schema = "f64[3], i32";
+  mapping.access_fraction = 0.25;
+  mapping.tail = true;
+  return mapping;
+}
+
+TEST(MappingTest, EncodeDecodeRoundTrip) {
+  xdr::Encoder enc;
+  encode_mapping(enc, sample_mapping());
+  xdr::Decoder dec(enc.buffer());
+  auto decoded = decode_mapping(dec);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(*decoded, sample_mapping());
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(MappingTest, RuleMatching) {
+  MappingRule rule;
+  rule.host_pattern = "jagan";
+  rule.path_pattern = "/work/JOB.*";
+  EXPECT_TRUE(rule.matches("jagan", "/work/JOB.SF"));
+  EXPECT_FALSE(rule.matches("dione", "/work/JOB.SF"));
+  EXPECT_FALSE(rule.matches("jagan", "/work/RESULT.DAT"));
+  rule.host_pattern = "*";
+  EXPECT_TRUE(rule.matches("anything", "/work/JOB.TH"));
+}
+
+TEST(DatabaseTest, LaterRulesWin) {
+  Database db;
+  MappingRule broad;
+  broad.host_pattern = "*";
+  broad.path_pattern = "*";
+  broad.mapping.mode = IoMode::kLocal;
+  db.add_rule(broad);
+  MappingRule specific;
+  specific.host_pattern = "jagan";
+  specific.path_pattern = "*JOB.SF";
+  specific.mapping.mode = IoMode::kGridBuffer;
+  db.add_rule(specific);
+
+  EXPECT_EQ(db.lookup("jagan", "/w/JOB.SF")->mode, IoMode::kGridBuffer);
+  EXPECT_EQ(db.lookup("jagan", "/w/other")->mode, IoMode::kLocal);
+  EXPECT_EQ(db.lookup("dione", "/w/JOB.SF")->mode, IoMode::kLocal);
+}
+
+TEST(DatabaseTest, MissMeansNoMapping) {
+  Database db;
+  EXPECT_FALSE(db.lookup("jagan", "/x").has_value());
+}
+
+TEST(DatabaseTest, VersionBumpsOnEveryMutation) {
+  Database db;
+  const auto v0 = db.version();
+  MappingRule rule;
+  rule.host_pattern = "a";
+  rule.path_pattern = "b";
+  db.add_rule(rule);
+  const auto v1 = db.version();
+  EXPECT_GT(v1, v0);
+  EXPECT_EQ(db.remove_rules("a", "b"), 1u);
+  EXPECT_GT(db.version(), v1);
+  // Removing nothing does not bump.
+  const auto v2 = db.version();
+  EXPECT_EQ(db.remove_rules("a", "b"), 0u);
+  EXPECT_EQ(db.version(), v2);
+}
+
+TEST(DatabaseTest, LoadsFromConfig) {
+  auto config = Config::parse(R"(
+[mapping:sf]
+host = jagan
+path = /work/JOB.SF
+mode = gridbuffer
+channel = wf/JOB.SF
+buffer_endpoint = inproc://dione/gbuf
+block_size = 8192
+readers = 2
+cache = false
+
+[mapping:all-remote]
+host = *
+path = /data/*
+mode = remote_proxy
+remote_endpoint = inproc://freak/fs
+remote_path = data.bin
+access_fraction = 0.1
+)");
+  ASSERT_TRUE(config.is_ok());
+  Database db;
+  ASSERT_TRUE(db.load_config(*config).is_ok());
+  const auto sf = db.lookup("jagan", "/work/JOB.SF");
+  ASSERT_TRUE(sf.has_value());
+  EXPECT_EQ(sf->mode, IoMode::kGridBuffer);
+  EXPECT_EQ(sf->block_size, 8192u);
+  EXPECT_EQ(sf->reader_count, 2u);
+  EXPECT_FALSE(sf->cache_enabled);
+  const auto remote = db.lookup("vpac27", "/data/input.nc");
+  ASSERT_TRUE(remote.has_value());
+  EXPECT_EQ(remote->mode, IoMode::kRemoteProxy);
+  EXPECT_DOUBLE_EQ(remote->access_fraction, 0.1);
+}
+
+TEST(ConfigTest, RejectsMissingFields) {
+  auto config = Config::parse("[mapping:x]\nhost = jagan\n");
+  ASSERT_TRUE(config.is_ok());
+  EXPECT_FALSE(rules_from_config(*config).is_ok());
+}
+
+class GnsServiceTest : public ::testing::Test {
+ protected:
+  GnsServiceTest()
+      : network_(clock_), server_transport_(network_.transport("dione")),
+        client_transport_(network_.transport("jagan")),
+        server_(db_, *server_transport_,
+                net::inproc_endpoint("dione", "gns")) {
+    EXPECT_TRUE(server_.start().is_ok());
+  }
+  ~GnsServiceTest() override { server_.stop(); }
+
+  RealClock clock_;
+  net::InProcNetwork network_;
+  std::unique_ptr<net::Transport> server_transport_;
+  std::unique_ptr<net::Transport> client_transport_;
+  Database db_;
+  GnsServer server_;
+};
+
+TEST_F(GnsServiceTest, LookupThroughRpc) {
+  MappingRule rule;
+  rule.host_pattern = "jagan";
+  rule.path_pattern = "*";
+  rule.mapping = sample_mapping();
+  db_.add_rule(rule);
+
+  GnsClient client(*client_transport_, server_.endpoint());
+  auto found = client.lookup("jagan", "/anything");
+  ASSERT_TRUE(found.is_ok());
+  ASSERT_TRUE(found->has_value());
+  EXPECT_EQ(**found, sample_mapping());
+
+  auto miss = client.lookup("dione", "/anything");
+  ASSERT_TRUE(miss.is_ok());
+  EXPECT_FALSE(miss->has_value());
+}
+
+TEST_F(GnsServiceTest, ClientEditsRules) {
+  GnsClient client(*client_transport_, server_.endpoint());
+  MappingRule rule;
+  rule.host_pattern = "h";
+  rule.path_pattern = "p";
+  rule.mapping.mode = IoMode::kRemoteCopy;
+  ASSERT_TRUE(client.add_rule(rule).is_ok());
+  auto rules = client.list_rules();
+  ASSERT_TRUE(rules.is_ok());
+  ASSERT_EQ(rules->size(), 1u);
+  EXPECT_EQ((*rules)[0], rule);
+  auto removed = client.remove_rules("h", "p");
+  ASSERT_TRUE(removed.is_ok());
+  EXPECT_EQ(*removed, 1u);
+  EXPECT_EQ(client.list_rules()->size(), 0u);
+}
+
+TEST_F(GnsServiceTest, CacheServesRepeatLookups) {
+  GnsClient client(*client_transport_, server_.endpoint(),
+                   net::WireFormat::kBinary,
+                   std::chrono::milliseconds(10000));
+  ASSERT_TRUE(client.lookup("jagan", "/x").is_ok());
+  const auto hits_before = client.cache_hits();
+  ASSERT_TRUE(client.lookup("jagan", "/x").is_ok());
+  ASSERT_TRUE(client.lookup("jagan", "/x").is_ok());
+  EXPECT_EQ(client.cache_hits(), hits_before + 2);
+}
+
+TEST_F(GnsServiceTest, DynamicRemapInvalidatesCache) {
+  GnsClient client(*client_transport_, server_.endpoint(),
+                   net::WireFormat::kBinary,
+                   std::chrono::milliseconds(0));  // no caching
+  auto before = client.lookup("jagan", "/f");
+  ASSERT_TRUE(before.is_ok());
+  EXPECT_FALSE(before->has_value());
+
+  // Reconfigure mid-run — the paper's "changing some parameters in the
+  // GNS" with no application change.
+  MappingRule rule;
+  rule.host_pattern = "jagan";
+  rule.path_pattern = "/f";
+  rule.mapping.mode = IoMode::kGridBuffer;
+  db_.add_rule(rule);
+
+  auto after = client.lookup("jagan", "/f");
+  ASSERT_TRUE(after.is_ok());
+  ASSERT_TRUE(after->has_value());
+  EXPECT_EQ((*after)->mode, IoMode::kGridBuffer);
+}
+
+TEST_F(GnsServiceTest, VersionVisibleOverRpc) {
+  GnsClient client(*client_transport_, server_.endpoint());
+  const auto v0 = client.version();
+  ASSERT_TRUE(v0.is_ok());
+  MappingRule rule;
+  rule.host_pattern = "a";
+  rule.path_pattern = "b";
+  db_.add_rule(rule);
+  const auto v1 = client.version();
+  ASSERT_TRUE(v1.is_ok());
+  EXPECT_GT(*v1, *v0);
+}
+
+}  // namespace
+}  // namespace griddles::gns

@@ -1,0 +1,576 @@
+// Tests for the Grid Buffer: channel store semantics (hash-table blocks,
+// blocking reads, delete-on-consume, cache-file re-reads, broadcast,
+// backpressure), the RPC server, and the writer/reader clients.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <thread>
+
+#include "src/common/tempfile.h"
+#include "src/gridbuffer/client.h"
+#include "src/gridbuffer/file_client.h"
+#include "src/gridbuffer/server.h"
+#include "src/net/inproc.h"
+
+namespace griddles::gridbuffer {
+namespace {
+
+Bytes pattern(std::size_t n, unsigned seed = 1) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::byte>((i * 37 + seed) & 0xFF);
+  }
+  return out;
+}
+
+class ChannelTest : public ::testing::Test {
+ protected:
+  ChannelTest() : dir_(*TempDir::create("gbuf-test")) {}
+
+  std::shared_ptr<Channel> make_channel(ChannelConfig config,
+                                        const std::string& name = "ch") {
+    return std::make_shared<Channel>(
+        name, config, dir_.file(name + ".cache").string());
+  }
+
+  TempDir dir_;
+};
+
+TEST_F(ChannelTest, SequentialWriteReadEof) {
+  ChannelConfig config;
+  config.block_size = 16;
+  auto channel = make_channel(config);
+  const auto reader = channel->add_reader();
+  const Bytes data = pattern(40);
+  ASSERT_TRUE(channel->write(0, {data.data(), 16}).is_ok());
+  ASSERT_TRUE(channel->write(16, {data.data() + 16, 16}).is_ok());
+  ASSERT_TRUE(channel->write(32, {data.data() + 32, 8}).is_ok());
+  channel->close_writer();
+
+  Bytes got;
+  std::uint64_t offset = 0;
+  while (true) {
+    auto result = channel->read(reader, offset, 7, 1000);
+    ASSERT_TRUE(result.is_ok());
+    if (result->eof) break;
+    got.insert(got.end(), result->data.begin(), result->data.end());
+    offset += result->data.size();
+  }
+  EXPECT_EQ(got, data);
+}
+
+TEST_F(ChannelTest, ReadBlocksUntilWritten) {
+  ChannelConfig config;
+  config.block_size = 8;
+  auto channel = make_channel(config);
+  const auto reader = channel->add_reader();
+  std::atomic<bool> served{false};
+  std::thread consumer([&] {
+    auto result = channel->read(reader, 0, 8, 5000);
+    ASSERT_TRUE(result.is_ok());
+    EXPECT_EQ(result->data.size(), 8u);
+    served = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(served);  // paper: "the read operation can be blocked
+                         // until the data is written"
+  ASSERT_TRUE(channel->write(0, pattern(8)).is_ok());
+  consumer.join();
+  EXPECT_TRUE(served);
+}
+
+TEST_F(ChannelTest, ReadTimesOut) {
+  auto channel = make_channel(ChannelConfig{});
+  const auto reader = channel->add_reader();
+  auto result = channel->read(reader, 0, 1, 40);
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kTimeout);
+}
+
+TEST_F(ChannelTest, ConsumedBlocksAreDeletedFromTable) {
+  ChannelConfig config;
+  config.block_size = 8;
+  config.cache_enabled = false;
+  auto channel = make_channel(config);
+  const auto reader = channel->add_reader();
+  ASSERT_TRUE(channel->write(0, pattern(8)).is_ok());
+  ASSERT_TRUE(channel->write(8, pattern(8)).is_ok());
+  EXPECT_EQ(channel->buffered_blocks(), 2u);
+  // One multi-block read consumes both blocks...
+  auto result = channel->read(reader, 0, 16, 1000);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result->data.size(), 16u);
+  // ...and the only reader has consumed them: table drained.
+  EXPECT_EQ(channel->buffered_blocks(), 0u);
+}
+
+TEST_F(ChannelTest, RereadWithoutCacheFails) {
+  ChannelConfig config;
+  config.block_size = 8;
+  config.cache_enabled = false;
+  auto channel = make_channel(config);
+  const auto reader = channel->add_reader();
+  ASSERT_TRUE(channel->write(0, pattern(8)).is_ok());
+  ASSERT_TRUE(channel->read(reader, 0, 8, 1000).is_ok());
+  auto again = channel->read(reader, 0, 8, 1000);
+  EXPECT_FALSE(again.is_ok());
+  EXPECT_EQ(again.status().code(), ErrorCode::kOutOfRange);
+}
+
+TEST_F(ChannelTest, RereadServedFromCacheFile) {
+  // §5.3: "Because the data has already been deleted from the hash table
+  // in the Grid Buffer Service, it is read from the cache file instead."
+  ChannelConfig config;
+  config.block_size = 8;
+  config.cache_enabled = true;
+  auto channel = make_channel(config);
+  const auto reader = channel->add_reader();
+  const Bytes data = pattern(24);
+  for (std::uint64_t off = 0; off < 24; off += 8) {
+    ASSERT_TRUE(channel->write(off, {data.data() + off, 8}).is_ok());
+  }
+  // Consume everything (evicts from the hash table)...
+  for (std::uint64_t off = 0; off < 24; off += 8) {
+    ASSERT_TRUE(channel->read(reader, off, 8, 1000).is_ok());
+  }
+  EXPECT_EQ(channel->buffered_blocks(), 0u);
+  // ...then seek back and re-read: cache serves it (reads may be short
+  // at block boundaries, so accumulate).
+  Bytes reread;
+  std::uint64_t offset = 4;
+  while (reread.size() < 12) {
+    auto result = channel->read(reader, offset,
+                                static_cast<std::uint32_t>(12 -
+                                                           reread.size()),
+                                1000);
+    ASSERT_TRUE(result.is_ok());
+    ASSERT_FALSE(result->data.empty());
+    reread.insert(reread.end(), result->data.begin(), result->data.end());
+    offset += result->data.size();
+  }
+  EXPECT_EQ(reread, Bytes(data.begin() + 4, data.begin() + 16));
+}
+
+TEST_F(ChannelTest, OutOfOrderWritesAssemble) {
+  // The hash table exists precisely so blocks may arrive out of order
+  // (multiple flusher streams).
+  ChannelConfig config;
+  config.block_size = 8;
+  auto channel = make_channel(config);
+  const auto reader = channel->add_reader();
+  const Bytes data = pattern(32);
+  ASSERT_TRUE(channel->write(24, {data.data() + 24, 8}).is_ok());
+  ASSERT_TRUE(channel->write(8, {data.data() + 8, 8}).is_ok());
+  ASSERT_TRUE(channel->write(0, {data.data() + 0, 8}).is_ok());
+  ASSERT_TRUE(channel->write(16, {data.data() + 16, 8}).is_ok());
+  channel->close_writer();
+  Bytes got;
+  std::uint64_t offset = 0;
+  while (got.size() < 32) {
+    auto result = channel->read(reader, offset, 32, 1000);
+    ASSERT_TRUE(result.is_ok());
+    got.insert(got.end(), result->data.begin(), result->data.end());
+    offset += result->data.size();
+  }
+  EXPECT_EQ(got, data);
+}
+
+TEST_F(ChannelTest, BroadcastBothReadersSeeAll) {
+  // Paper §4: "one application may write to the buffer, but many may
+  // read the buffer".
+  ChannelConfig config;
+  config.block_size = 8;
+  config.expected_readers = 2;
+  config.cache_enabled = false;
+  auto channel = make_channel(config);
+  const auto r1 = channel->add_reader();
+  const auto r2 = channel->add_reader();
+  const Bytes data = pattern(16);
+  ASSERT_TRUE(channel->write(0, {data.data(), 8}).is_ok());
+  ASSERT_TRUE(channel->write(8, {data.data() + 8, 8}).is_ok());
+
+  // r1 consumes everything; blocks must survive for r2.
+  ASSERT_TRUE(channel->read(r1, 0, 8, 1000).is_ok());
+  ASSERT_TRUE(channel->read(r1, 8, 8, 1000).is_ok());
+  EXPECT_EQ(channel->buffered_blocks(), 2u);
+  auto b0 = channel->read(r2, 0, 8, 1000);
+  ASSERT_TRUE(b0.is_ok());
+  EXPECT_EQ(b0->data, Bytes(data.begin(), data.begin() + 8));
+  ASSERT_TRUE(channel->read(r2, 8, 8, 1000).is_ok());
+  // Now both readers consumed both blocks.
+  EXPECT_EQ(channel->buffered_blocks(), 0u);
+}
+
+TEST_F(ChannelTest, EarlyWriterWaitsForExpectedReaders) {
+  // With expected_readers=1 and no reader registered yet, nothing may be
+  // evicted (a late reader must still see the data).
+  ChannelConfig config;
+  config.block_size = 8;
+  config.cache_enabled = false;
+  auto channel = make_channel(config);
+  ASSERT_TRUE(channel->write(0, pattern(8)).is_ok());
+  EXPECT_EQ(channel->buffered_blocks(), 1u);
+  const auto reader = channel->add_reader();
+  auto result = channel->read(reader, 0, 8, 1000);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result->data.size(), 8u);
+}
+
+TEST_F(ChannelTest, BackpressureSpillsToCache) {
+  ChannelConfig config;
+  config.block_size = 1024;
+  config.cache_enabled = true;
+  config.max_buffered_bytes = 4096;  // 4 blocks
+  auto channel = make_channel(config);
+  const auto reader = channel->add_reader();
+  // Write 16 blocks with no reads: table stays bounded, data spills.
+  const Bytes data = pattern(16 * 1024);
+  for (std::uint64_t off = 0; off < data.size(); off += 1024) {
+    ASSERT_TRUE(channel->write(off, {data.data() + off, 1024}).is_ok());
+  }
+  EXPECT_LE(channel->buffered_bytes(), 4096u);
+  channel->close_writer();
+  // Everything is still readable (cache serves the spilled prefix).
+  Bytes got;
+  std::uint64_t offset = 0;
+  while (got.size() < data.size()) {
+    auto result = channel->read(reader, offset, 4096, 1000);
+    ASSERT_TRUE(result.is_ok());
+    ASSERT_FALSE(result->eof);
+    got.insert(got.end(), result->data.begin(), result->data.end());
+    offset += result->data.size();
+  }
+  EXPECT_EQ(got, data);
+}
+
+TEST_F(ChannelTest, BackpressureBlocksWriterWithoutCache) {
+  ChannelConfig config;
+  config.block_size = 1024;
+  config.cache_enabled = false;
+  config.max_buffered_bytes = 2048;
+  auto channel = make_channel(config);
+  const auto reader = channel->add_reader();
+  ASSERT_TRUE(channel->write(0, pattern(1024)).is_ok());
+  ASSERT_TRUE(channel->write(1024, pattern(1024)).is_ok());
+  std::atomic<bool> third_done{false};
+  std::thread writer([&] {
+    ASSERT_TRUE(channel->write(2048, pattern(1024)).is_ok());
+    third_done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(third_done);  // writer is blocked: table full, no cache
+  ASSERT_TRUE(channel->read(reader, 0, 1024, 1000).is_ok());  // frees one
+  writer.join();
+  EXPECT_TRUE(third_done);
+}
+
+TEST_F(ChannelTest, ShutdownWakesBlockedReader) {
+  auto channel = make_channel(ChannelConfig{});
+  const auto reader = channel->add_reader();
+  std::thread consumer([&] {
+    auto result = channel->read(reader, 0, 8, 0);
+    EXPECT_FALSE(result.is_ok());
+    EXPECT_EQ(result.status().code(), ErrorCode::kAborted);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  channel->shutdown();
+  consumer.join();
+}
+
+TEST_F(ChannelTest, MisalignedWriteRejected) {
+  ChannelConfig config;
+  config.block_size = 8;
+  auto channel = make_channel(config);
+  EXPECT_FALSE(channel->write(3, pattern(4)).is_ok());
+  EXPECT_FALSE(channel->write(0, pattern(9)).is_ok());
+}
+
+TEST_F(ChannelTest, PartialBlockExtension) {
+  ChannelConfig config;
+  config.block_size = 16;
+  auto channel = make_channel(config);
+  const auto reader = channel->add_reader();
+  const Bytes data = pattern(16);
+  // Flush-style partial write, then the extended full block.
+  ASSERT_TRUE(channel->write(0, {data.data(), 6}).is_ok());
+  auto early = channel->read(reader, 0, 16, 1000);
+  ASSERT_TRUE(early.is_ok());
+  EXPECT_EQ(early->data.size(), 6u);
+  ASSERT_TRUE(channel->write(0, {data.data(), 16}).is_ok());
+  auto rest = channel->read(reader, 6, 16, 1000);
+  ASSERT_TRUE(rest.is_ok());
+  EXPECT_EQ(rest->data, Bytes(data.begin() + 6, data.end()));
+  // Shrinking a block is rejected.
+  EXPECT_FALSE(channel->write(0, {data.data(), 4}).is_ok());
+}
+
+TEST_F(ChannelTest, StatWaitsForEof) {
+  auto channel = make_channel(ChannelConfig{});
+  std::atomic<bool> got_eof{false};
+  std::thread waiter([&] {
+    auto result = channel->stat(true, 5000);
+    ASSERT_TRUE(result.is_ok());
+    EXPECT_TRUE(result->eof);
+    got_eof = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got_eof);
+  channel->close_writer();
+  waiter.join();
+}
+
+TEST_F(ChannelTest, WriteAfterCloseRejected) {
+  auto channel = make_channel(ChannelConfig{});
+  channel->close_writer();
+  EXPECT_FALSE(channel->write(0, pattern(8)).is_ok());
+}
+
+TEST(ChannelStoreTest, OpenIsIdempotentButConfigSticky) {
+  auto dir = TempDir::create("store-test");
+  ChannelStore store(dir->path().string());
+  ChannelConfig config;
+  config.block_size = 512;
+  auto a = store.open("x", config);
+  ASSERT_TRUE(a.is_ok());
+  auto b = store.open("x", config);
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(a->get(), b->get());
+  ChannelConfig other;
+  other.block_size = 1024;
+  EXPECT_FALSE(store.open("x", other).is_ok());
+  EXPECT_FALSE(store.find("y").is_ok());
+  EXPECT_TRUE(store.find("x").is_ok());
+}
+
+TEST(ChannelStoreTest, RemoveRequiresClosedWriter) {
+  auto dir = TempDir::create("store-rm");
+  ChannelStore store(dir->path().string());
+  auto channel = store.open("x", ChannelConfig{});
+  ASSERT_TRUE(channel.is_ok());
+  EXPECT_FALSE(store.remove("x").is_ok());
+  (*channel)->close_writer();
+  EXPECT_TRUE(store.remove("x").is_ok());
+  EXPECT_FALSE(store.find("x").is_ok());
+}
+
+// ---- End-to-end over RPC ----------------------------------------------
+
+class GridBufferE2ETest : public ::testing::TestWithParam<bool> {
+ protected:
+  GridBufferE2ETest()
+      : dir_(*TempDir::create("gbuf-e2e")), network_(clock_),
+        server_transport_(network_.transport("dione")),
+        client_transport_(network_.transport("jagan")),
+        server_(dir_.file("cache").string(), *server_transport_,
+                net::inproc_endpoint("dione", "gbuf"),
+                GetParam() ? net::WireFormat::kSoap
+                           : net::WireFormat::kBinary) {
+    EXPECT_TRUE(server_.start().is_ok());
+  }
+  ~GridBufferE2ETest() override { server_.stop(); }
+
+  net::WireFormat format() const {
+    return GetParam() ? net::WireFormat::kSoap : net::WireFormat::kBinary;
+  }
+
+  TempDir dir_;
+  RealClock clock_;
+  net::InProcNetwork network_;
+  std::unique_ptr<net::Transport> server_transport_;
+  std::unique_ptr<net::Transport> client_transport_;
+  GridBufferServer server_;
+};
+
+TEST_P(GridBufferE2ETest, StreamOverlapsWriterAndReader) {
+  const Bytes data = pattern(1 << 18, 9);
+  GridBufferWriter::Options writer_options;
+  writer_options.channel.block_size = 4096;
+  writer_options.wire = format();
+
+  std::thread producer([&] {
+    auto writer = GridBufferWriter::open(
+        *client_transport_, server_.endpoint(), "e2e/stream",
+        writer_options);
+    ASSERT_TRUE(writer.is_ok());
+    std::size_t offset = 0;
+    while (offset < data.size()) {
+      const std::size_t chunk = std::min<std::size_t>(10000,
+                                                      data.size() - offset);
+      ASSERT_TRUE(
+          (*writer)->write({data.data() + offset, chunk}).is_ok());
+      offset += chunk;
+    }
+    ASSERT_TRUE((*writer)->close().is_ok());
+  });
+
+  GridBufferReader::Options reader_options;
+  reader_options.wire = format();
+  auto reader = GridBufferReader::open(*client_transport_,
+                                       server_.endpoint(), "e2e/stream",
+                                       reader_options);
+  ASSERT_TRUE(reader.is_ok());
+  Bytes got;
+  Bytes buffer(7777);
+  while (true) {
+    auto n = (*reader)->read({buffer.data(), buffer.size()});
+    ASSERT_TRUE(n.is_ok());
+    if (*n == 0) break;
+    got.insert(got.end(), buffer.begin(),
+               buffer.begin() + static_cast<std::ptrdiff_t>(*n));
+  }
+  producer.join();
+  EXPECT_EQ(got, data);
+  EXPECT_EQ((*reader)->size().value(), data.size());
+  ASSERT_TRUE((*reader)->close().is_ok());
+}
+
+TEST_P(GridBufferE2ETest, SeekBackAndRereadThroughCache) {
+  const Bytes data = pattern(50000, 3);
+  GridBufferWriter::Options writer_options;
+  writer_options.channel.block_size = 4096;
+  writer_options.channel.cache_enabled = true;
+  writer_options.wire = format();
+  auto writer = GridBufferWriter::open(
+      *client_transport_, server_.endpoint(), "e2e/seek", writer_options);
+  ASSERT_TRUE(writer.is_ok());
+  ASSERT_TRUE((*writer)->write(data).is_ok());
+  ASSERT_TRUE((*writer)->close().is_ok());
+
+  GridBufferReader::Options reader_options;
+  reader_options.wire = format();
+  auto reader = GridBufferReader::open(*client_transport_,
+                                       server_.endpoint(), "e2e/seek",
+                                       reader_options);
+  ASSERT_TRUE(reader.is_ok());
+  Bytes all(data.size());
+  ASSERT_TRUE((*reader)->read({all.data(), all.size()}).is_ok());
+  EXPECT_EQ(all, data);
+  // Arbitrary seek back (paper: "even perform arbitrary seeks").
+  ASSERT_TRUE((*reader)->seek(12345, 0).is_ok());
+  Bytes window(1000);
+  ASSERT_TRUE((*reader)->read({window.data(), window.size()}).is_ok());
+  EXPECT_EQ(window, Bytes(data.begin() + 12345, data.begin() + 13345));
+  // Relative and end-based seeks.
+  ASSERT_TRUE((*reader)->seek(-500, 1).is_ok());
+  EXPECT_EQ((*reader)->tell(), 12845u);
+  ASSERT_TRUE((*reader)->seek(-100, 2).is_ok());
+  EXPECT_EQ((*reader)->tell(), data.size() - 100);
+}
+
+TEST_P(GridBufferE2ETest, FileClientAdapterRoundTrip) {
+  if (format() == net::WireFormat::kSoap) {
+    GTEST_SKIP() << "file-client adapter path is exercised binary-only";
+  }
+  ChannelConfig config;
+  config.block_size = 1024;
+  const Bytes data = pattern(30000, 5);
+
+  std::thread producer([&] {
+    auto writer = GridBufferFileClient::open(
+        *client_transport_, server_.endpoint(), "e2e/fc",
+        vfs::OpenFlags::output(), config);
+    ASSERT_TRUE(writer.is_ok());
+    ASSERT_TRUE(vfs::write_all(**writer, data).is_ok());
+    ASSERT_TRUE((*writer)->close().is_ok());
+  });
+  auto reader = GridBufferFileClient::open(
+      *client_transport_, server_.endpoint(), "e2e/fc",
+      vfs::OpenFlags::input(), config);
+  ASSERT_TRUE(reader.is_ok());
+  auto got = vfs::read_all(**reader);
+  producer.join();
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(*got, data);
+
+  // Read-write opens are rejected; writer seeks are rejected.
+  auto rw = GridBufferFileClient::open(*client_transport_,
+                                       server_.endpoint(), "e2e/fc2",
+                                       vfs::OpenFlags::update(), config);
+  EXPECT_FALSE(rw.is_ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, GridBufferE2ETest,
+                         ::testing::Values(false, true),
+                         [](const auto& info) {
+                           return info.param ? "Soap" : "Binary";
+                         });
+
+// Property test: random interleavings of writer chunk sizes and reader
+// chunk sizes with occasional backward seeks always deliver the exact
+// stream.
+TEST(GridBufferPropertyTest, RandomChunkingAndSeeks) {
+  auto dir = TempDir::create("gbuf-prop");
+  RealClock clock;
+  net::InProcNetwork network(clock);
+  auto server_transport = network.transport("dione");
+  auto client_transport = network.transport("jagan");
+  GridBufferServer server(dir->file("cache").string(), *server_transport,
+                          net::inproc_endpoint("dione", "gbuf"));
+  ASSERT_TRUE(server.start().is_ok());
+
+  std::mt19937 rng(424242);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::string channel = "prop/" + std::to_string(trial);
+    const Bytes data = pattern(20000 + rng() % 30000, trial + 1);
+
+    GridBufferWriter::Options writer_options;
+    writer_options.channel.block_size = 512 << (rng() % 3);
+    writer_options.flusher_threads = 1 + static_cast<int>(rng() % 4);
+    std::thread producer([&] {
+      auto writer = GridBufferWriter::open(
+          *client_transport, server.endpoint(), channel, writer_options);
+      ASSERT_TRUE(writer.is_ok());
+      std::mt19937 wrng(trial);
+      std::size_t offset = 0;
+      while (offset < data.size()) {
+        const std::size_t chunk = std::min<std::size_t>(
+            1 + wrng() % 5000, data.size() - offset);
+        ASSERT_TRUE((*writer)->write({data.data() + offset, chunk}).is_ok());
+        offset += chunk;
+      }
+      ASSERT_TRUE((*writer)->close().is_ok());
+    });
+
+    GridBufferReader::Options reader_options;
+    reader_options.channel.block_size = writer_options.channel.block_size;
+    auto reader = GridBufferReader::open(*client_transport,
+                                         server.endpoint(), channel,
+                                         reader_options);
+    ASSERT_TRUE(reader.is_ok());
+    Bytes got(data.size());
+    std::size_t position = 0;
+    std::size_t high_water = 0;
+    int seeks_left = 3;
+    std::mt19937 rrng(trial * 7 + 1);
+    while (high_water < data.size()) {
+      // Occasionally jump backwards and re-read (cache path).
+      if (seeks_left > 0 && high_water > 2000 && rrng() % 5 == 0) {
+        const std::size_t back = rrng() % high_water;
+        ASSERT_TRUE(
+            (*reader)->seek(static_cast<std::int64_t>(back), 0).is_ok());
+        position = back;
+        --seeks_left;
+      }
+      Bytes buffer(1 + rrng() % 4000);
+      auto n = (*reader)->read({buffer.data(), buffer.size()});
+      ASSERT_TRUE(n.is_ok());
+      if (*n == 0) break;
+      ASSERT_LE(position + *n, data.size());
+      // Verify against the reference data immediately.
+      EXPECT_TRUE(std::equal(buffer.begin(),
+                             buffer.begin() + static_cast<std::ptrdiff_t>(*n),
+                             data.begin() +
+                                 static_cast<std::ptrdiff_t>(position)))
+          << "mismatch at " << position << " trial " << trial;
+      position += *n;
+      high_water = std::max(high_water, position);
+    }
+    EXPECT_EQ(high_water, data.size());
+    producer.join();
+    ASSERT_TRUE((*reader)->close().is_ok());
+  }
+  server.stop();
+}
+
+}  // namespace
+}  // namespace griddles::gridbuffer

@@ -1,0 +1,181 @@
+// Tests for the NWS substitute: forecasting series, active probing over
+// modelled links, and the query service.
+#include <gtest/gtest.h>
+
+#include "src/net/inproc.h"
+#include "src/nws/monitor.h"
+
+namespace griddles::nws {
+namespace {
+
+TEST(SeriesTest, EmptyHasNoForecast) {
+  Series series;
+  EXPECT_FALSE(series.last().has_value());
+  EXPECT_FALSE(series.median(4).has_value());
+  EXPECT_FALSE(series.forecast().has_value());
+}
+
+TEST(SeriesTest, BasicStatistics) {
+  Series series;
+  for (const double v : {1.0, 2.0, 3.0, 4.0, 100.0}) {
+    series.add(v, Duration::zero());
+  }
+  EXPECT_DOUBLE_EQ(series.last().value(), 100.0);
+  EXPECT_DOUBLE_EQ(series.median(5).value(), 3.0);
+  EXPECT_DOUBLE_EQ(series.mean(4).value(), (2 + 3 + 4 + 100) / 4.0);
+}
+
+TEST(SeriesTest, BoundedHistory) {
+  Series series(4);
+  for (int i = 0; i < 10; ++i) series.add(i, Duration::zero());
+  EXPECT_EQ(series.size(), 4u);
+  EXPECT_DOUBLE_EQ(series.samples().front().value, 6.0);
+}
+
+TEST(SeriesTest, ForecastTracksStableSignal) {
+  Series series;
+  for (int i = 0; i < 20; ++i) series.add(5.0, Duration::zero());
+  EXPECT_NEAR(series.forecast().value(), 5.0, 1e-9);
+}
+
+TEST(SeriesTest, MedianPredictorResistsOutliers) {
+  // A stable series with rare spikes: the adaptive forecast should stay
+  // near the stable level, not the spike (NWS's motivation for the
+  // predictor ensemble).
+  Series series;
+  for (int i = 0; i < 30; ++i) {
+    series.add(i % 10 == 9 ? 50.0 : 2.0, Duration::zero());
+  }
+  EXPECT_LT(series.forecast().value(), 10.0);
+}
+
+TEST(SeriesTest, ForecastAdaptsToLevelShift) {
+  Series series;
+  for (int i = 0; i < 10; ++i) series.add(1.0, Duration::zero());
+  for (int i = 0; i < 20; ++i) series.add(9.0, Duration::zero());
+  EXPECT_GT(series.forecast().value(), 7.0);
+}
+
+TEST(StaticEstimatorTest, SetAndGet) {
+  StaticLinkEstimator estimator;
+  estimator.set("freak", {0.09, 840000});
+  auto estimate = estimator.estimate("freak");
+  ASSERT_TRUE(estimate.is_ok());
+  EXPECT_DOUBLE_EQ(estimate->latency_seconds, 0.09);
+  EXPECT_FALSE(estimator.estimate("unknown").is_ok());
+}
+
+TEST(LinkEstimateTest, TransferSeconds) {
+  LinkEstimate estimate{0.1, 1e6};
+  EXPECT_NEAR(estimate.transfer_seconds(2000000), 2.1, 1e-9);
+  LinkEstimate no_bw{0.1, 0};
+  EXPECT_NEAR(no_bw.transfer_seconds(1000), 0.1, 1e-9);
+}
+
+TEST(MonitorTest, ProbesMeasureModelledLink) {
+  // 1 model second = 5 wall ms. The monitor must *measure* the modelled
+  // WAN: latency 0.2 model s, bandwidth 1 MB/s.
+  ScaledClock clock(0.005);
+  net::InProcNetwork network(clock);
+  net::LinkModel link;
+  link.latency = from_seconds_d(0.2);
+  link.bandwidth_bytes_per_sec = 1e6;
+  network.links().set_link("jagan", "freak", link);
+
+  auto responder_transport = network.transport("freak");
+  Responder responder(*responder_transport,
+                      net::inproc_endpoint("freak", "nws"));
+  ASSERT_TRUE(responder.start().is_ok());
+
+  auto monitor_transport = network.transport("jagan");
+  Monitor::Options options;
+  options.echo_count = 3;
+  options.bulk_bytes = 200 * 1024;
+  Monitor monitor(*monitor_transport, clock, options);
+  monitor.add_target("freak", responder.endpoint());
+  ASSERT_TRUE(monitor.probe_once("freak").is_ok());
+
+  auto estimate = monitor.estimate("freak");
+  ASSERT_TRUE(estimate.is_ok());
+  // One-way latency ~0.2 s (echo RTT/2 ~ 0.2 since both directions add).
+  // Generous tolerances: this is a timing measurement on a possibly
+  // loaded CI machine.
+  EXPECT_NEAR(estimate->latency_seconds, 0.2, 0.12);
+  // Bandwidth within a factor ~4 of the configured 1 MB/s.
+  EXPECT_GT(estimate->bandwidth_bytes_per_sec, 0.25e6);
+  EXPECT_LT(estimate->bandwidth_bytes_per_sec, 4e6);
+  responder.stop();
+}
+
+TEST(MonitorTest, UnknownTargetErrors) {
+  RealClock clock;
+  net::InProcNetwork network(clock);
+  auto transport = network.transport("jagan");
+  Monitor monitor(*transport, clock);
+  EXPECT_FALSE(monitor.probe_once("nowhere").is_ok());
+  EXPECT_FALSE(monitor.estimate("nowhere").is_ok());
+}
+
+TEST(MonitorTest, EstimateBeforeAnyProbeIsUnavailable) {
+  RealClock clock;
+  net::InProcNetwork network(clock);
+  auto transport = network.transport("jagan");
+  Monitor monitor(*transport, clock);
+  monitor.add_target("freak", net::inproc_endpoint("freak", "nws"));
+  auto estimate = monitor.estimate("freak");
+  EXPECT_FALSE(estimate.is_ok());
+  EXPECT_EQ(estimate.status().code(), ErrorCode::kUnavailable);
+}
+
+TEST(MonitorTest, BackgroundProberCollectsSamples) {
+  RealClock clock;
+  net::InProcNetwork network(clock);
+  auto responder_transport = network.transport("freak");
+  Responder responder(*responder_transport,
+                      net::inproc_endpoint("freak", "nws"));
+  ASSERT_TRUE(responder.start().is_ok());
+
+  auto monitor_transport = network.transport("jagan");
+  Monitor::Options options;
+  options.period = std::chrono::milliseconds(10);
+  options.bulk_bytes = 1024;
+  options.echo_count = 1;
+  Monitor monitor(*monitor_transport, clock, options);
+  monitor.add_target("freak", responder.endpoint());
+  monitor.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  monitor.stop();
+  ASSERT_NE(monitor.latency_series("freak"), nullptr);
+  EXPECT_GE(monitor.latency_series("freak")->size(), 2u);
+  responder.stop();
+}
+
+TEST(QueryServiceTest, ServesEstimatesRemotely) {
+  RealClock clock;
+  net::InProcNetwork network(clock);
+  auto responder_transport = network.transport("freak");
+  Responder responder(*responder_transport,
+                      net::inproc_endpoint("freak", "nws"));
+  ASSERT_TRUE(responder.start().is_ok());
+
+  auto monitor_transport = network.transport("jagan");
+  Monitor monitor(*monitor_transport, clock);
+  monitor.add_target("freak", responder.endpoint());
+  ASSERT_TRUE(monitor.probe_once("freak").is_ok());
+
+  QueryService service(monitor, *monitor_transport,
+                       net::inproc_endpoint("jagan", "nws-query"));
+  ASSERT_TRUE(service.start().is_ok());
+
+  auto client_transport = network.transport("brecca");
+  QueryClient client(*client_transport, service.endpoint());
+  auto estimate = client.estimate("freak");
+  ASSERT_TRUE(estimate.is_ok());
+  EXPECT_GE(estimate->bandwidth_bytes_per_sec, 0.0);
+  EXPECT_FALSE(client.estimate("unknown").is_ok());
+  service.stop();
+  responder.stop();
+}
+
+}  // namespace
+}  // namespace griddles::nws

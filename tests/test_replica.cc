@@ -1,0 +1,246 @@
+// Tests for the replica catalog, NWS-cost selection, and the
+// dynamically-remapping replicated file client.
+#include <gtest/gtest.h>
+
+#include "src/common/tempfile.h"
+#include "src/net/inproc.h"
+#include "src/remote/file_server.h"
+#include "src/replica/replicated_client.h"
+#include "src/vfs/local_client.h"
+
+namespace griddles::replica {
+namespace {
+
+TEST(CatalogTest, AddLookupRemove) {
+  Catalog catalog;
+  catalog.add("logical/data", {"freak", "inproc://freak/fs", "d.bin", 100,
+                               0});
+  catalog.add("logical/data", {"bouscat", "inproc://bouscat/fs", "d.bin",
+                               100, 0});
+  auto copies = catalog.lookup("logical/data");
+  ASSERT_TRUE(copies.is_ok());
+  EXPECT_EQ(copies->size(), 2u);
+  EXPECT_TRUE(catalog.remove("logical/data", "freak"));
+  EXPECT_FALSE(catalog.remove("logical/data", "freak"));
+  EXPECT_EQ(catalog.lookup("logical/data")->size(), 1u);
+  EXPECT_TRUE(catalog.remove("logical/data", "bouscat"));
+  EXPECT_FALSE(catalog.lookup("logical/data").is_ok());
+}
+
+TEST(CatalogTest, AddRefreshesExistingHost) {
+  Catalog catalog;
+  catalog.add("x", {"freak", "ep", "old", 1, 0});
+  catalog.add("x", {"freak", "ep", "new", 2, 0});
+  auto copies = catalog.lookup("x");
+  ASSERT_TRUE(copies.is_ok());
+  ASSERT_EQ(copies->size(), 1u);
+  EXPECT_EQ((*copies)[0].path, "new");
+}
+
+TEST(SelectorTest, PicksCheapestLink) {
+  nws::StaticLinkEstimator estimator;
+  estimator.set("near", {0.001, 10e6});
+  estimator.set("far", {0.3, 0.5e6});
+  std::vector<PhysicalReplica> copies = {
+      {"far", "ep-far", "p", 10u << 20, 0},
+      {"near", "ep-near", "p", 10u << 20, 0},
+  };
+  auto selection = select_replica(copies, estimator);
+  ASSERT_TRUE(selection.is_ok());
+  EXPECT_EQ(selection->replica.host, "near");
+}
+
+TEST(SelectorTest, UnknownLinksStillEligible) {
+  nws::StaticLinkEstimator estimator;  // knows nothing
+  std::vector<PhysicalReplica> copies = {{"mystery", "ep", "p", 5, 0}};
+  auto selection = select_replica(copies, estimator);
+  ASSERT_TRUE(selection.is_ok());
+  EXPECT_EQ(selection->replica.host, "mystery");
+  EXPECT_FALSE(select_replica({}, estimator).is_ok());
+}
+
+class ReplicatedClientTest : public ::testing::Test {
+ protected:
+  ReplicatedClientTest()
+      : dir_(*TempDir::create("replica-test")), network_(clock_),
+        client_transport_(network_.transport("jagan")) {}
+
+  /// Spins up a file server on `host` exporting one copy of the data.
+  void add_replica_host(const std::string& host, ByteSpan data) {
+    auto transport = network_.transport(host);
+    auto server = std::make_unique<remote::FileServer>(
+        dir_.file("export-" + host), *transport,
+        net::inproc_endpoint(host, "fs"));
+    ASSERT_TRUE(server->start().is_ok());
+    ASSERT_TRUE(vfs::write_file(
+                    (server->root() / "data.bin").string(), data)
+                    .is_ok());
+    catalog_.add("logical/data",
+                 {host, server->endpoint().to_string(), "data.bin",
+                  data.size(), fnv1a(data)});
+    transports_.push_back(std::move(transport));
+    servers_.push_back(std::move(server));
+  }
+
+  Bytes pattern(std::size_t n) {
+    Bytes out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<std::byte>(i % 251);
+    }
+    return out;
+  }
+
+  CatalogClient catalog_client() {
+    // Catalog service co-hosted for the test.
+    if (!catalog_server_) {
+      catalog_transport_ = network_.transport("dione");
+      catalog_server_ = std::make_unique<CatalogServer>(
+          catalog_, *catalog_transport_,
+          net::inproc_endpoint("dione", "rc"));
+      EXPECT_TRUE(catalog_server_->start().is_ok());
+    }
+    return CatalogClient(*client_transport_, catalog_server_->endpoint());
+  }
+
+  TempDir dir_;
+  RealClock clock_;
+  net::InProcNetwork network_;
+  std::unique_ptr<net::Transport> client_transport_;
+  std::vector<std::unique_ptr<net::Transport>> transports_;
+  std::vector<std::unique_ptr<remote::FileServer>> servers_;
+  Catalog catalog_;
+  std::unique_ptr<net::Transport> catalog_transport_;
+  std::unique_ptr<CatalogServer> catalog_server_;
+};
+
+TEST_F(ReplicatedClientTest, CatalogRpcRoundTrip) {
+  auto client = catalog_client();
+  PhysicalReplica replica{"freak", "inproc://freak/fs", "p.bin", 42, 7};
+  ASSERT_TRUE(client.add("lfn", replica).is_ok());
+  auto copies = client.lookup("lfn");
+  ASSERT_TRUE(copies.is_ok());
+  ASSERT_EQ(copies->size(), 1u);
+  EXPECT_EQ((*copies)[0], replica);
+  auto names = client.list();
+  ASSERT_TRUE(names.is_ok());
+  EXPECT_EQ(names->size(), 1u);
+  ASSERT_TRUE(client.remove("lfn", "freak").is_ok());
+  EXPECT_FALSE(client.lookup("lfn").is_ok());
+}
+
+TEST_F(ReplicatedClientTest, ReadsFromBestReplica) {
+  const Bytes data = pattern(100000);
+  add_replica_host("freak", data);
+  add_replica_host("brecca", data);
+  nws::StaticLinkEstimator estimator;
+  estimator.set("freak", {0.2, 1e6});
+  estimator.set("brecca", {0.001, 10e6});
+
+  auto catalog = catalog_client();
+  auto file = ReplicatedFileClient::open(*client_transport_, catalog,
+                                         "logical/data", estimator);
+  ASSERT_TRUE(file.is_ok());
+  EXPECT_EQ((*file)->current_host(), "brecca");
+  auto all = vfs::read_all(**file);
+  ASSERT_TRUE(all.is_ok());
+  EXPECT_EQ(*all, data);
+  EXPECT_EQ((*file)->switch_count(), 0);
+}
+
+TEST_F(ReplicatedClientTest, DynamicRemapMidRead) {
+  const Bytes data = pattern(4 << 20);
+  add_replica_host("freak", data);
+  add_replica_host("brecca", data);
+  nws::StaticLinkEstimator estimator;
+  estimator.set("freak", {0.001, 50e6});
+  estimator.set("brecca", {0.5, 0.1e6});
+
+  ReplicatedFileClient::Options options;
+  options.reselect_interval_bytes = 1 << 20;
+  auto catalog = catalog_client();
+  auto file = ReplicatedFileClient::open(*client_transport_, catalog,
+                                         "logical/data", estimator,
+                                         options);
+  ASSERT_TRUE(file.is_ok());
+  EXPECT_EQ((*file)->current_host(), "freak");
+
+  Bytes first(2 << 20);
+  std::size_t got = 0;
+  while (got < first.size()) {
+    auto n = (*file)->read({first.data() + got, first.size() - got});
+    ASSERT_TRUE(n.is_ok());
+    got += *n;
+  }
+  // Network weather turns: freak degrades, brecca improves.
+  estimator.set("freak", {0.5, 0.1e6});
+  estimator.set("brecca", {0.001, 50e6});
+
+  Bytes rest(data.size() - first.size());
+  got = 0;
+  while (got < rest.size()) {
+    auto n = (*file)->read({rest.data() + got, rest.size() - got});
+    ASSERT_TRUE(n.is_ok());
+    ASSERT_GT(*n, 0u);
+    got += *n;
+  }
+  EXPECT_EQ((*file)->current_host(), "brecca");
+  EXPECT_GE((*file)->switch_count(), 1);
+  // The observed bytes are identical regardless of the switch.
+  Bytes all = first;
+  all.insert(all.end(), rest.begin(), rest.end());
+  EXPECT_EQ(all, data);
+}
+
+TEST_F(ReplicatedClientTest, FailoverWhenReplicaDies) {
+  const Bytes data = pattern(200000);
+  add_replica_host("freak", data);
+  add_replica_host("brecca", data);
+  nws::StaticLinkEstimator estimator;
+  estimator.set("freak", {0.001, 50e6});  // freak preferred
+  estimator.set("brecca", {0.1, 1e6});
+
+  auto catalog = catalog_client();
+  auto file = ReplicatedFileClient::open(*client_transport_, catalog,
+                                         "logical/data", estimator);
+  ASSERT_TRUE(file.is_ok());
+  EXPECT_EQ((*file)->current_host(), "freak");
+  Bytes buffer(1000);
+  ASSERT_TRUE((*file)->read({buffer.data(), buffer.size()}).is_ok());
+
+  // freak goes down mid-read.
+  servers_[0]->stop();
+  std::size_t total = 1000;
+  while (total < data.size()) {
+    auto n = (*file)->read({buffer.data(), buffer.size()});
+    ASSERT_TRUE(n.is_ok()) << n.status().to_string();
+    ASSERT_GT(*n, 0u);
+    // Spot-check content continuity across the failover.
+    for (std::size_t i = 0; i < *n; ++i) {
+      ASSERT_EQ(buffer[i], data[total + i]) << "at " << (total + i);
+    }
+    total += *n;
+  }
+  EXPECT_EQ((*file)->current_host(), "brecca");
+}
+
+TEST_F(ReplicatedClientTest, WritesRejected) {
+  add_replica_host("freak", pattern(10));
+  nws::StaticLinkEstimator estimator;
+  auto catalog = catalog_client();
+  auto file = ReplicatedFileClient::open(*client_transport_, catalog,
+                                         "logical/data", estimator);
+  ASSERT_TRUE(file.is_ok());
+  EXPECT_FALSE((*file)->write(as_bytes_view("x")).is_ok());
+}
+
+TEST_F(ReplicatedClientTest, UnknownLogicalNameFails) {
+  nws::StaticLinkEstimator estimator;
+  auto catalog = catalog_client();
+  auto file = ReplicatedFileClient::open(*client_transport_, catalog,
+                                         "no/such/file", estimator);
+  EXPECT_FALSE(file.is_ok());
+  EXPECT_EQ(file.status().code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace griddles::replica

@@ -1,0 +1,153 @@
+// Tests for the FileClient abstraction and the local pass-through client.
+#include <gtest/gtest.h>
+
+#include "src/common/tempfile.h"
+#include "src/vfs/local_client.h"
+
+namespace griddles::vfs {
+namespace {
+
+class LocalClientTest : public ::testing::Test {
+ protected:
+  LocalClientTest() : dir_(*TempDir::create("vfs-test")) {}
+  std::string path(const std::string& name) {
+    return dir_.file(name).string();
+  }
+  TempDir dir_;
+};
+
+TEST_F(LocalClientTest, WriteThenReadBack) {
+  {
+    auto file = LocalFileClient::open(path("a.txt"), OpenFlags::output());
+    ASSERT_TRUE(file.is_ok());
+    ASSERT_TRUE(write_all(**file, as_bytes_view("hello world")).is_ok());
+    ASSERT_TRUE((*file)->close().is_ok());
+  }
+  auto file = LocalFileClient::open(path("a.txt"), OpenFlags::input());
+  ASSERT_TRUE(file.is_ok());
+  auto all = read_all(**file);
+  ASSERT_TRUE(all.is_ok());
+  EXPECT_EQ(to_string(*all), "hello world");
+}
+
+TEST_F(LocalClientTest, MissingFileIsNotFound) {
+  auto file = LocalFileClient::open(path("missing"), OpenFlags::input());
+  EXPECT_FALSE(file.is_ok());
+  EXPECT_EQ(file.status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(LocalClientTest, CreateMakesParentDirectories) {
+  auto file = LocalFileClient::open(path("deep/nested/dir/f.bin"),
+                                    OpenFlags::output());
+  ASSERT_TRUE(file.is_ok());
+  ASSERT_TRUE((*file)->close().is_ok());
+  EXPECT_TRUE(file_size(path("deep/nested/dir/f.bin")).is_ok());
+}
+
+TEST_F(LocalClientTest, SeekAndTell) {
+  auto file = LocalFileClient::open(path("s.bin"), OpenFlags::output());
+  ASSERT_TRUE(file.is_ok());
+  ASSERT_TRUE(write_all(**file, as_bytes_view("0123456789")).is_ok());
+  EXPECT_EQ((*file)->tell(), 10u);
+  ASSERT_TRUE((*file)->close().is_ok());
+
+  auto rd = LocalFileClient::open(path("s.bin"), OpenFlags::input());
+  ASSERT_TRUE(rd.is_ok());
+  EXPECT_EQ((*rd)->seek(4, Whence::kSet).value(), 4u);
+  Bytes buffer(3);
+  EXPECT_EQ((*rd)->read({buffer.data(), 3}).value(), 3u);
+  EXPECT_EQ(to_string(buffer), "456");
+  EXPECT_EQ((*rd)->seek(-2, Whence::kCurrent).value(), 5u);
+  EXPECT_EQ((*rd)->seek(-1, Whence::kEnd).value(), 9u);
+  EXPECT_EQ((*rd)->read({buffer.data(), 3}).value(), 1u);
+  EXPECT_EQ(static_cast<char>(buffer[0]), '9');
+}
+
+TEST_F(LocalClientTest, ReadOnWriteOnlyFails) {
+  auto file = LocalFileClient::open(path("w.bin"), OpenFlags::output());
+  ASSERT_TRUE(file.is_ok());
+  Bytes buffer(4);
+  auto got = (*file)->read({buffer.data(), 4});
+  EXPECT_FALSE(got.is_ok());
+  EXPECT_EQ(got.status().code(), ErrorCode::kPermissionDenied);
+}
+
+TEST_F(LocalClientTest, WriteOnReadOnlyFails) {
+  ASSERT_TRUE(write_file(path("r.bin"), as_bytes_view("x")).is_ok());
+  auto file = LocalFileClient::open(path("r.bin"), OpenFlags::input());
+  ASSERT_TRUE(file.is_ok());
+  EXPECT_FALSE((*file)->write(as_bytes_view("y")).is_ok());
+}
+
+TEST_F(LocalClientTest, AppendMode) {
+  ASSERT_TRUE(write_file(path("log"), as_bytes_view("one\n")).is_ok());
+  auto file = LocalFileClient::open(path("log"), OpenFlags::appending());
+  ASSERT_TRUE(file.is_ok());
+  ASSERT_TRUE(write_all(**file, as_bytes_view("two\n")).is_ok());
+  ASSERT_TRUE((*file)->close().is_ok());
+  auto all = read_file(path("log"));
+  ASSERT_TRUE(all.is_ok());
+  EXPECT_EQ(to_string(*all), "one\ntwo\n");
+}
+
+TEST_F(LocalClientTest, TruncateDiscardsOldContent) {
+  ASSERT_TRUE(write_file(path("t"), as_bytes_view("longcontent")).is_ok());
+  auto file = LocalFileClient::open(path("t"), OpenFlags::output());
+  ASSERT_TRUE(file.is_ok());
+  ASSERT_TRUE(write_all(**file, as_bytes_view("s")).is_ok());
+  ASSERT_TRUE((*file)->close().is_ok());
+  EXPECT_EQ(file_size(path("t")).value(), 1u);
+}
+
+TEST_F(LocalClientTest, UpdateModeReadsAndWrites) {
+  ASSERT_TRUE(write_file(path("u"), as_bytes_view("abcdef")).is_ok());
+  auto file = LocalFileClient::open(path("u"), OpenFlags::update());
+  ASSERT_TRUE(file.is_ok());
+  ASSERT_TRUE((*file)->seek(2, Whence::kSet).is_ok());
+  ASSERT_TRUE(write_all(**file, as_bytes_view("XY")).is_ok());
+  ASSERT_TRUE((*file)->close().is_ok());
+  EXPECT_EQ(to_string(*read_file(path("u"))), "abXYef");
+}
+
+TEST_F(LocalClientTest, SizeTracksWrites) {
+  auto file = LocalFileClient::open(path("z"), OpenFlags::output());
+  ASSERT_TRUE(file.is_ok());
+  EXPECT_EQ((*file)->size().value(), 0u);
+  ASSERT_TRUE(write_all(**file, Bytes(1234)).is_ok());
+  EXPECT_EQ((*file)->size().value(), 1234u);
+}
+
+TEST_F(LocalClientTest, OperationsAfterCloseFail) {
+  auto file = LocalFileClient::open(path("c"), OpenFlags::output());
+  ASSERT_TRUE(file.is_ok());
+  ASSERT_TRUE((*file)->close().is_ok());
+  ASSERT_TRUE((*file)->close().is_ok());  // idempotent
+  EXPECT_FALSE((*file)->write(as_bytes_view("x")).is_ok());
+  Bytes buffer(1);
+  EXPECT_FALSE((*file)->read({buffer.data(), 1}).is_ok());
+  EXPECT_FALSE((*file)->seek(0, Whence::kSet).is_ok());
+}
+
+TEST_F(LocalClientTest, NeitherReadNorWriteRejected) {
+  EXPECT_FALSE(LocalFileClient::open(path("n"), OpenFlags{}).is_ok());
+}
+
+TEST_F(LocalClientTest, DescribeMentionsPath) {
+  auto file = LocalFileClient::open(path("d"), OpenFlags::output());
+  ASSERT_TRUE(file.is_ok());
+  EXPECT_NE((*file)->describe().find("d"), std::string::npos);
+}
+
+TEST_F(LocalClientTest, ReadAllLargeFile) {
+  Bytes big(300000);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::byte>(i * 31);
+  }
+  ASSERT_TRUE(write_file(path("big"), big).is_ok());
+  auto all = read_file(path("big"));
+  ASSERT_TRUE(all.is_ok());
+  EXPECT_EQ(*all, big);
+}
+
+}  // namespace
+}  // namespace griddles::vfs
