@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_durability.cpp" "bench/CMakeFiles/bench_table2_durability.dir/bench_table2_durability.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_durability.dir/bench_table2_durability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/griddles_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/desim/CMakeFiles/griddles_desim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/griddles_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/griddles_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/griddles_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gns/CMakeFiles/griddles_gns.dir/DependInfo.cmake"
+  "/root/repo/build/src/gridbuffer/CMakeFiles/griddles_gridbuffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/replica/CMakeFiles/griddles_replica.dir/DependInfo.cmake"
+  "/root/repo/build/src/remote/CMakeFiles/griddles_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/griddles_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/nws/CMakeFiles/griddles_nws.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/griddles_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/griddles_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/griddles_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/griddles_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

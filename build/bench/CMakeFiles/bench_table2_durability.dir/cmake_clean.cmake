@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_durability.dir/bench_table2_durability.cpp.o"
+  "CMakeFiles/bench_table2_durability.dir/bench_table2_durability.cpp.o.d"
+  "bench_table2_durability"
+  "bench_table2_durability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_durability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_concurrent.dir/bench_table4_concurrent.cpp.o"
+  "CMakeFiles/bench_table4_concurrent.dir/bench_table4_concurrent.cpp.o.d"
+  "bench_table4_concurrent"
+  "bench_table4_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

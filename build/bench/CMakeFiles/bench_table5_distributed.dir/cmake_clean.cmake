@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_distributed.dir/bench_table5_distributed.cpp.o"
+  "CMakeFiles/bench_table5_distributed.dir/bench_table5_distributed.cpp.o.d"
+  "bench_table5_distributed"
+  "bench_table5_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

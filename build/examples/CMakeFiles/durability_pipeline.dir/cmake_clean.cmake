@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durability_pipeline.dir/durability_pipeline.cpp.o"
+  "CMakeFiles/durability_pipeline.dir/durability_pipeline.cpp.o.d"
+  "durability_pipeline"
+  "durability_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durability_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

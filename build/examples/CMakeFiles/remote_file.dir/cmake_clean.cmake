@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_file.dir/remote_file.cpp.o"
+  "CMakeFiles/remote_file.dir/remote_file.cpp.o.d"
+  "remote_file"
+  "remote_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_selection.dir/replica_selection.cpp.o"
+  "CMakeFiles/replica_selection.dir/replica_selection.cpp.o.d"
+  "replica_selection"
+  "replica_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddles_apps.dir/kernel.cc.o"
+  "CMakeFiles/griddles_apps.dir/kernel.cc.o.d"
+  "CMakeFiles/griddles_apps.dir/paper_apps.cc.o"
+  "CMakeFiles/griddles_apps.dir/paper_apps.cc.o.d"
+  "libgriddles_apps.a"
+  "libgriddles_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddles_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddles_common.dir/clock.cc.o"
+  "CMakeFiles/griddles_common.dir/clock.cc.o.d"
+  "CMakeFiles/griddles_common.dir/config.cc.o"
+  "CMakeFiles/griddles_common.dir/config.cc.o.d"
+  "CMakeFiles/griddles_common.dir/logging.cc.o"
+  "CMakeFiles/griddles_common.dir/logging.cc.o.d"
+  "CMakeFiles/griddles_common.dir/status.cc.o"
+  "CMakeFiles/griddles_common.dir/status.cc.o.d"
+  "CMakeFiles/griddles_common.dir/strings.cc.o"
+  "CMakeFiles/griddles_common.dir/strings.cc.o.d"
+  "CMakeFiles/griddles_common.dir/tempfile.cc.o"
+  "CMakeFiles/griddles_common.dir/tempfile.cc.o.d"
+  "libgriddles_common.a"
+  "libgriddles_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddles_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

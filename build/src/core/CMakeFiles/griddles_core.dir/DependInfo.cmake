@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/multiplexer.cc" "src/core/CMakeFiles/griddles_core.dir/multiplexer.cc.o" "gcc" "src/core/CMakeFiles/griddles_core.dir/multiplexer.cc.o.d"
+  "/root/repo/src/core/posix_shim.cc" "src/core/CMakeFiles/griddles_core.dir/posix_shim.cc.o" "gcc" "src/core/CMakeFiles/griddles_core.dir/posix_shim.cc.o.d"
+  "/root/repo/src/core/staged_client.cc" "src/core/CMakeFiles/griddles_core.dir/staged_client.cc.o" "gcc" "src/core/CMakeFiles/griddles_core.dir/staged_client.cc.o.d"
+  "/root/repo/src/core/stream.cc" "src/core/CMakeFiles/griddles_core.dir/stream.cc.o" "gcc" "src/core/CMakeFiles/griddles_core.dir/stream.cc.o.d"
+  "/root/repo/src/core/tailing_client.cc" "src/core/CMakeFiles/griddles_core.dir/tailing_client.cc.o" "gcc" "src/core/CMakeFiles/griddles_core.dir/tailing_client.cc.o.d"
+  "/root/repo/src/core/transcode_client.cc" "src/core/CMakeFiles/griddles_core.dir/transcode_client.cc.o" "gcc" "src/core/CMakeFiles/griddles_core.dir/transcode_client.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/griddles_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/griddles_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/griddles_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gns/CMakeFiles/griddles_gns.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/griddles_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/remote/CMakeFiles/griddles_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/gridbuffer/CMakeFiles/griddles_gridbuffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/replica/CMakeFiles/griddles_replica.dir/DependInfo.cmake"
+  "/root/repo/build/src/nws/CMakeFiles/griddles_nws.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

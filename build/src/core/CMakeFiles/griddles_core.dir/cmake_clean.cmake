@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddles_core.dir/multiplexer.cc.o"
+  "CMakeFiles/griddles_core.dir/multiplexer.cc.o.d"
+  "CMakeFiles/griddles_core.dir/posix_shim.cc.o"
+  "CMakeFiles/griddles_core.dir/posix_shim.cc.o.d"
+  "CMakeFiles/griddles_core.dir/staged_client.cc.o"
+  "CMakeFiles/griddles_core.dir/staged_client.cc.o.d"
+  "CMakeFiles/griddles_core.dir/stream.cc.o"
+  "CMakeFiles/griddles_core.dir/stream.cc.o.d"
+  "CMakeFiles/griddles_core.dir/tailing_client.cc.o"
+  "CMakeFiles/griddles_core.dir/tailing_client.cc.o.d"
+  "CMakeFiles/griddles_core.dir/transcode_client.cc.o"
+  "CMakeFiles/griddles_core.dir/transcode_client.cc.o.d"
+  "libgriddles_core.a"
+  "libgriddles_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddles_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgriddles_core.a"
+)

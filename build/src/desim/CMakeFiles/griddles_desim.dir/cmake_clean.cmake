@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddles_desim.dir/predict.cc.o"
+  "CMakeFiles/griddles_desim.dir/predict.cc.o.d"
+  "libgriddles_desim.a"
+  "libgriddles_desim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddles_desim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

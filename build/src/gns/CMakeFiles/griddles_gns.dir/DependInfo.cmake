@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gns/database.cc" "src/gns/CMakeFiles/griddles_gns.dir/database.cc.o" "gcc" "src/gns/CMakeFiles/griddles_gns.dir/database.cc.o.d"
+  "/root/repo/src/gns/mapping.cc" "src/gns/CMakeFiles/griddles_gns.dir/mapping.cc.o" "gcc" "src/gns/CMakeFiles/griddles_gns.dir/mapping.cc.o.d"
+  "/root/repo/src/gns/service.cc" "src/gns/CMakeFiles/griddles_gns.dir/service.cc.o" "gcc" "src/gns/CMakeFiles/griddles_gns.dir/service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/griddles_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/griddles_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/griddles_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

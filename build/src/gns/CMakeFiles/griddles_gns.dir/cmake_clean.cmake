@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddles_gns.dir/database.cc.o"
+  "CMakeFiles/griddles_gns.dir/database.cc.o.d"
+  "CMakeFiles/griddles_gns.dir/mapping.cc.o"
+  "CMakeFiles/griddles_gns.dir/mapping.cc.o.d"
+  "CMakeFiles/griddles_gns.dir/service.cc.o"
+  "CMakeFiles/griddles_gns.dir/service.cc.o.d"
+  "libgriddles_gns.a"
+  "libgriddles_gns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddles_gns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddles_gridbuffer.dir/channel.cc.o"
+  "CMakeFiles/griddles_gridbuffer.dir/channel.cc.o.d"
+  "CMakeFiles/griddles_gridbuffer.dir/client.cc.o"
+  "CMakeFiles/griddles_gridbuffer.dir/client.cc.o.d"
+  "CMakeFiles/griddles_gridbuffer.dir/file_client.cc.o"
+  "CMakeFiles/griddles_gridbuffer.dir/file_client.cc.o.d"
+  "CMakeFiles/griddles_gridbuffer.dir/server.cc.o"
+  "CMakeFiles/griddles_gridbuffer.dir/server.cc.o.d"
+  "libgriddles_gridbuffer.a"
+  "libgriddles_gridbuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddles_gridbuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/endpoint.cc" "src/net/CMakeFiles/griddles_net.dir/endpoint.cc.o" "gcc" "src/net/CMakeFiles/griddles_net.dir/endpoint.cc.o.d"
+  "/root/repo/src/net/inproc.cc" "src/net/CMakeFiles/griddles_net.dir/inproc.cc.o" "gcc" "src/net/CMakeFiles/griddles_net.dir/inproc.cc.o.d"
+  "/root/repo/src/net/link_model.cc" "src/net/CMakeFiles/griddles_net.dir/link_model.cc.o" "gcc" "src/net/CMakeFiles/griddles_net.dir/link_model.cc.o.d"
+  "/root/repo/src/net/rpc.cc" "src/net/CMakeFiles/griddles_net.dir/rpc.cc.o" "gcc" "src/net/CMakeFiles/griddles_net.dir/rpc.cc.o.d"
+  "/root/repo/src/net/soap.cc" "src/net/CMakeFiles/griddles_net.dir/soap.cc.o" "gcc" "src/net/CMakeFiles/griddles_net.dir/soap.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/griddles_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/griddles_net.dir/tcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/griddles_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/griddles_xdr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddles_net.dir/endpoint.cc.o"
+  "CMakeFiles/griddles_net.dir/endpoint.cc.o.d"
+  "CMakeFiles/griddles_net.dir/inproc.cc.o"
+  "CMakeFiles/griddles_net.dir/inproc.cc.o.d"
+  "CMakeFiles/griddles_net.dir/link_model.cc.o"
+  "CMakeFiles/griddles_net.dir/link_model.cc.o.d"
+  "CMakeFiles/griddles_net.dir/rpc.cc.o"
+  "CMakeFiles/griddles_net.dir/rpc.cc.o.d"
+  "CMakeFiles/griddles_net.dir/soap.cc.o"
+  "CMakeFiles/griddles_net.dir/soap.cc.o.d"
+  "CMakeFiles/griddles_net.dir/tcp.cc.o"
+  "CMakeFiles/griddles_net.dir/tcp.cc.o.d"
+  "libgriddles_net.a"
+  "libgriddles_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddles_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nws/forecast.cc" "src/nws/CMakeFiles/griddles_nws.dir/forecast.cc.o" "gcc" "src/nws/CMakeFiles/griddles_nws.dir/forecast.cc.o.d"
+  "/root/repo/src/nws/monitor.cc" "src/nws/CMakeFiles/griddles_nws.dir/monitor.cc.o" "gcc" "src/nws/CMakeFiles/griddles_nws.dir/monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/griddles_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/griddles_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/griddles_xdr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddles_nws.dir/forecast.cc.o"
+  "CMakeFiles/griddles_nws.dir/forecast.cc.o.d"
+  "CMakeFiles/griddles_nws.dir/monitor.cc.o"
+  "CMakeFiles/griddles_nws.dir/monitor.cc.o.d"
+  "libgriddles_nws.a"
+  "libgriddles_nws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddles_nws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

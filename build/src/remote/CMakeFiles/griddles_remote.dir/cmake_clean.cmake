@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddles_remote.dir/advisor.cc.o"
+  "CMakeFiles/griddles_remote.dir/advisor.cc.o.d"
+  "CMakeFiles/griddles_remote.dir/copier.cc.o"
+  "CMakeFiles/griddles_remote.dir/copier.cc.o.d"
+  "CMakeFiles/griddles_remote.dir/file_server.cc.o"
+  "CMakeFiles/griddles_remote.dir/file_server.cc.o.d"
+  "CMakeFiles/griddles_remote.dir/remote_client.cc.o"
+  "CMakeFiles/griddles_remote.dir/remote_client.cc.o.d"
+  "libgriddles_remote.a"
+  "libgriddles_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddles_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddles_replica.dir/catalog.cc.o"
+  "CMakeFiles/griddles_replica.dir/catalog.cc.o.d"
+  "CMakeFiles/griddles_replica.dir/replicated_client.cc.o"
+  "CMakeFiles/griddles_replica.dir/replicated_client.cc.o.d"
+  "libgriddles_replica.a"
+  "libgriddles_replica.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddles_replica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddles_sched.dir/scheduler.cc.o"
+  "CMakeFiles/griddles_sched.dir/scheduler.cc.o.d"
+  "libgriddles_sched.a"
+  "libgriddles_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddles_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddles_testbed.dir/testbed.cc.o"
+  "CMakeFiles/griddles_testbed.dir/testbed.cc.o.d"
+  "libgriddles_testbed.a"
+  "libgriddles_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddles_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddles_vfs.dir/file_client.cc.o"
+  "CMakeFiles/griddles_vfs.dir/file_client.cc.o.d"
+  "CMakeFiles/griddles_vfs.dir/local_client.cc.o"
+  "CMakeFiles/griddles_vfs.dir/local_client.cc.o.d"
+  "libgriddles_vfs.a"
+  "libgriddles_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddles_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

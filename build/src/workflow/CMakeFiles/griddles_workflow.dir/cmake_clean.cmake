@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddles_workflow.dir/runner.cc.o"
+  "CMakeFiles/griddles_workflow.dir/runner.cc.o.d"
+  "CMakeFiles/griddles_workflow.dir/spec.cc.o"
+  "CMakeFiles/griddles_workflow.dir/spec.cc.o.d"
+  "libgriddles_workflow.a"
+  "libgriddles_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddles_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

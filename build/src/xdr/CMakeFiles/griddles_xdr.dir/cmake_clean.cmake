@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddles_xdr.dir/codec.cc.o"
+  "CMakeFiles/griddles_xdr.dir/codec.cc.o.d"
+  "CMakeFiles/griddles_xdr.dir/record.cc.o"
+  "CMakeFiles/griddles_xdr.dir/record.cc.o.d"
+  "libgriddles_xdr.a"
+  "libgriddles_xdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddles_xdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

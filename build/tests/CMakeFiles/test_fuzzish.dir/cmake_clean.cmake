@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzzish.dir/test_fuzzish.cc.o"
+  "CMakeFiles/test_fuzzish.dir/test_fuzzish.cc.o.d"
+  "test_fuzzish"
+  "test_fuzzish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzzish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gns.dir/test_gns.cc.o"
+  "CMakeFiles/test_gns.dir/test_gns.cc.o.d"
+  "test_gns"
+  "test_gns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

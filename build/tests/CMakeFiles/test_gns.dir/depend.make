@@ -1,0 +1,2 @@
+# Empty dependencies file for test_gns.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gridbuffer.dir/test_gridbuffer.cc.o"
+  "CMakeFiles/test_gridbuffer.dir/test_gridbuffer.cc.o.d"
+  "test_gridbuffer"
+  "test_gridbuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gridbuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

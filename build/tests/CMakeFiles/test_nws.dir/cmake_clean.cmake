@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nws.dir/test_nws.cc.o"
+  "CMakeFiles/test_nws.dir/test_nws.cc.o.d"
+  "test_nws"
+  "test_nws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

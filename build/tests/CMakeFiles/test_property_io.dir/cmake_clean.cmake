@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_io.dir/test_property_io.cc.o"
+  "CMakeFiles/test_property_io.dir/test_property_io.cc.o.d"
+  "test_property_io"
+  "test_property_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

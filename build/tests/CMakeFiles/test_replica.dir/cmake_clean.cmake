@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replica.dir/test_replica.cc.o"
+  "CMakeFiles/test_replica.dir/test_replica.cc.o.d"
+  "test_replica"
+  "test_replica.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
