@@ -36,14 +36,14 @@ WallClock::time_point ScaledClock::wall_deadline(
 }
 
 Duration ManualClock::now() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   return now_;
 }
 
 void ManualClock::sleep_for(Duration d) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   const Duration deadline = now_ + d;
-  cv_.wait(lock, [&] { return now_ >= deadline; });
+  cv_.wait(mu_, [&]() REQUIRES(mu_) { return now_ >= deadline; });
 }
 
 WallClock::time_point ManualClock::wall_deadline(
@@ -55,7 +55,7 @@ WallClock::time_point ManualClock::wall_deadline(
 
 void ManualClock::advance(Duration d) {
   {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     now_ += d;
   }
   cv_.notify_all();

@@ -9,8 +9,8 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
+
+#include "src/common/thread_annotations.h"
 
 namespace griddles {
 
@@ -103,9 +103,9 @@ class ManualClock final : public Clock {
   void advance(Duration d);
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  Duration now_{0};
+  mutable Mutex mu_;
+  CondVar cv_;
+  Duration now_ GUARDED_BY(mu_){0};
 };
 
 }  // namespace griddles

@@ -51,7 +51,7 @@ void Logger::write(Level level, std::string_view file, int line,
   const auto us =
       std::chrono::duration_cast<std::chrono::microseconds>(now).count();
   const std::string base(basename_of(file));
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   std::fprintf(stderr, "[%s %lld.%06lld %s:%d] %s\n", level_tag(level),
                static_cast<long long>(us / 1000000),
                static_cast<long long>(us % 1000000), base.c_str(), line,

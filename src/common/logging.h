@@ -5,11 +5,12 @@
 // GRIDDLES_LOG=debug (or trace/info/warn/error/off) to change it.
 #pragma once
 
-#include <mutex>
+#include <atomic>
 #include <string>
 #include <string_view>
 
 #include "src/common/strings.h"
+#include "src/common/thread_annotations.h"
 
 namespace griddles::log {
 
@@ -20,9 +21,13 @@ class Logger {
   /// Process-wide logger; level initialised from $GRIDDLES_LOG.
   static Logger& instance();
 
-  void set_level(Level level) noexcept { level_ = level; }
-  Level level() const noexcept { return level_; }
-  bool enabled(Level level) const noexcept { return level >= level_; }
+  void set_level(Level level) noexcept {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  Level level() const noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
+  bool enabled(Level level) const noexcept { return level >= this->level(); }
 
   /// Writes one formatted line; thread-safe.
   void write(Level level, std::string_view file, int line,
@@ -30,8 +35,8 @@ class Logger {
 
  private:
   Logger();
-  Level level_;
-  std::mutex mu_;
+  std::atomic<Level> level_;
+  Mutex mu_;  // lint: guards stderr (serializes whole log lines)
 };
 
 }  // namespace griddles::log

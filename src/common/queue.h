@@ -4,12 +4,13 @@
 // Buffer writer's asynchronous send pipeline.
 #pragma once
 
-#include <condition_variable>
+#include <chrono>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "src/common/thread_annotations.h"
 
 namespace griddles {
 
@@ -24,8 +25,10 @@ class BoundedQueue {
 
   /// Blocks while full; returns false if the queue was closed.
   bool push(T item) {
-    std::unique_lock lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || !full_locked(); });
+    MutexLock lock(mu_);
+    not_full_.wait(mu_, [&]() REQUIRES(mu_) {
+      return closed_ || !full_locked();
+    });
     if (closed_) return false;
     items_.push_back(std::move(item));
     lock.unlock();
@@ -36,7 +39,7 @@ class BoundedQueue {
   /// Non-blocking push; false when full or closed.
   bool try_push(T item) {
     {
-      std::scoped_lock lock(mu_);
+      MutexLock lock(mu_);
       if (closed_ || full_locked()) return false;
       items_.push_back(std::move(item));
     }
@@ -46,32 +49,50 @@ class BoundedQueue {
 
   /// Blocks while empty; nullopt once the queue is closed and drained.
   std::optional<T> pop() {
-    std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    return pop_locked(lock);
+    std::optional<T> item;
+    {
+      MutexLock lock(mu_);
+      not_empty_.wait(mu_, [&]() REQUIRES(mu_) {
+        return closed_ || !items_.empty();
+      });
+      item = pop_locked();
+    }
+    if (item) not_full_.notify_one();
+    return item;
   }
 
   /// As pop(), but gives up at the wall deadline (nullopt; queue intact).
   std::optional<T> pop_until(std::chrono::steady_clock::time_point deadline) {
-    std::unique_lock lock(mu_);
-    if (!not_empty_.wait_until(
-            lock, deadline, [&] { return closed_ || !items_.empty(); })) {
-      return std::nullopt;
+    std::optional<T> item;
+    {
+      MutexLock lock(mu_);
+      if (!not_empty_.wait_until(mu_, deadline, [&]() REQUIRES(mu_) {
+            return closed_ || !items_.empty();
+          })) {
+        return std::nullopt;
+      }
+      item = pop_locked();
     }
-    return pop_locked(lock);
+    if (item) not_full_.notify_one();
+    return item;
   }
 
   /// Non-blocking pop.
   std::optional<T> try_pop() {
-    std::unique_lock lock(mu_);
-    if (items_.empty()) return std::nullopt;
-    return pop_locked(lock);
+    std::optional<T> item;
+    {
+      MutexLock lock(mu_);
+      if (items_.empty()) return std::nullopt;
+      item = pop_locked();
+    }
+    if (item) not_full_.notify_one();
+    return item;
   }
 
   /// Wakes all waiters; subsequent pushes fail, pops drain then end.
   void close() {
     {
-      std::scoped_lock lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -79,35 +100,33 @@ class BoundedQueue {
   }
 
   bool closed() const {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  bool full_locked() const {
+  bool full_locked() const REQUIRES(mu_) {
     return capacity_ != 0 && items_.size() >= capacity_;
   }
 
-  std::optional<T> pop_locked(std::unique_lock<std::mutex>& lock) {
+  std::optional<T> pop_locked() REQUIRES(mu_) {
     if (items_.empty()) return std::nullopt;  // closed and drained
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
     return item;
   }
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace griddles

@@ -1,0 +1,187 @@
+// Clang thread-safety annotations and the annotated locking vocabulary
+// used across GriddLeS.
+//
+// Every lock in the codebase is a griddles::Mutex held through a
+// griddles::MutexLock; data it protects is declared GUARDED_BY(mu_) and
+// helpers that expect the lock held are marked REQUIRES(mu_). Under
+// Clang, `-Wthread-safety -Werror=thread-safety-analysis` (wired up in
+// the top-level CMakeLists when the compiler supports it) turns any
+// missed-lock access into a compile error; under GCC the macros expand
+// to nothing and the wrappers cost the same as the std primitives they
+// wrap. tools/lint.py enforces that no raw std::mutex sneaks back in.
+//
+// The macro set follows the Clang documentation's canonical mutex.h
+// (the same convention Abseil exposes as ABSL_GUARDED_BY et al.).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define GL_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define GL_THREAD_ANNOTATION_(x)  // no-op on GCC/MSVC
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) GL_THREAD_ANNOTATION_(capability(x))
+#endif
+
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY GL_THREAD_ANNOTATION_(scoped_lockable)
+#endif
+
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) GL_THREAD_ANNOTATION_(guarded_by(x))
+#endif
+
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) GL_THREAD_ANNOTATION_(pt_guarded_by(x))
+#endif
+
+#ifndef REQUIRES
+#define REQUIRES(...) \
+  GL_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE
+#define ACQUIRE(...) \
+  GL_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE
+#define RELEASE(...) \
+  GL_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  GL_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef EXCLUDES
+#define EXCLUDES(...) GL_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#endif
+
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) GL_THREAD_ANNOTATION_(assert_capability(x))
+#endif
+
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) GL_THREAD_ANNOTATION_(lock_returned(x))
+#endif
+
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  GL_THREAD_ANNOTATION_(no_thread_safety_analysis)
+#endif
+
+namespace griddles {
+
+class CondVar;
+
+/// The only mutex type in the codebase: a std::mutex the analysis can
+/// see. Locking goes through MutexLock (scoped) — the raw lock()/
+/// unlock() are private so a naked `.lock()` is a compile error, not
+/// just a lint finding.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+ private:
+  friend class MutexLock;
+  friend class CondVar;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+  std::mutex mu_;
+};
+
+/// Scoped lock over a Mutex, with explicit unlock()/lock() for the
+/// notify-outside-the-lock pattern. The destructor releases only if the
+/// lock is still held.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  ~MutexLock() RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  /// Releases early (e.g. to notify a CondVar without the lock held).
+  void unlock() RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+
+  /// Re-acquires after an explicit unlock().
+  void lock() ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// Condition variable bound to Mutex. Callers hold the mutex (via a
+/// MutexLock) across every wait; like Abseil's CondVar, the internal
+/// release/reacquire is invisible to the analysis, so GUARDED_BY data
+/// may be touched on either side of a wait without ceremony.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified. The caller must hold `mu`.
+  void wait(Mutex& mu) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Blocks until `pred()` is true, re-checking after each wake-up.
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) REQUIRES(mu) {
+    while (!pred()) wait(mu);
+  }
+
+  /// As wait(), giving up at `deadline` (returns std::cv_status::timeout).
+  template <typename ClockT, typename DurationT>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<ClockT, DurationT>& deadline)
+      REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status;
+  }
+
+  /// Blocks until `pred()` or the deadline; returns pred()'s final value.
+  template <typename ClockT, typename DurationT, typename Pred>
+  bool wait_until(Mutex& mu,
+                  const std::chrono::time_point<ClockT, DurationT>& deadline,
+                  Pred pred) REQUIRES(mu) {
+    while (!pred()) {
+      if (wait_until(mu, deadline) == std::cv_status::timeout) return pred();
+    }
+    return true;
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace griddles

@@ -82,7 +82,7 @@ Result<int> FileMultiplexer::open(const std::string& path,
                                     std::move(client), schema));
   }
 
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   const int fd = next_fd_++;
   GL_LOG(kDebug, "fm open host=", options_.host, " path=", canonical,
          " -> fd ", fd, " [", client->describe(), "]");
@@ -103,13 +103,13 @@ Result<std::unique_ptr<vfs::FileClient>> FileMultiplexer::build_client(
             TailingLocalFileClient::open(target, clock(),
                                          options_.poll_wait,
                                          options_.tail_poll_interval));
-        std::scoped_lock lock(mu_);
+        MutexLock lock(mu_);
         ++stats_.local_opens;
         return std::unique_ptr<vfs::FileClient>(std::move(tailing));
       }
       GL_ASSIGN_OR_RETURN(auto local,
                           vfs::LocalFileClient::open(target, flags));
-      std::scoped_lock lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.local_opens;
       return std::unique_ptr<vfs::FileClient>(std::move(local));
     }
@@ -133,7 +133,7 @@ Result<std::unique_ptr<vfs::FileClient>> FileMultiplexer::build_client(
           gridbuffer::GridBufferFileClient::open(
               *options_.transport, server, channel, flags, config,
               options_.buffer));
-      std::scoped_lock lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.buffer_opens;
       return std::unique_ptr<vfs::FileClient>(std::move(client));
     }
@@ -149,7 +149,7 @@ Result<std::unique_ptr<vfs::FileClient>> FileMultiplexer::build_client(
           auto client,
           remote::RemoteFileClient::open(*options_.transport, server,
                                          mapping.remote_path, flags));
-      std::scoped_lock lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.proxy_opens;
       return std::unique_ptr<vfs::FileClient>(std::move(client));
     }
@@ -169,7 +169,7 @@ Result<std::unique_ptr<vfs::FileClient>> FileMultiplexer::build_client(
           StagedFileClient::open(*options_.transport, clock(), server,
                                  mapping.remote_path, staging, flags,
                                  options_.copier));
-      std::scoped_lock lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.staged_opens;
       return std::unique_ptr<vfs::FileClient>(std::move(client));
     }
@@ -261,7 +261,7 @@ Result<std::unique_ptr<vfs::FileClient>> FileMultiplexer::build_replicated(
 
   replica::CatalogClient* catalog;
   {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     auto& slot = catalogs_[catalog_endpoint.to_string()];
     if (!slot) {
       slot = std::make_unique<replica::CatalogClient>(*options_.transport,
@@ -274,7 +274,7 @@ Result<std::unique_ptr<vfs::FileClient>> FileMultiplexer::build_replicated(
       auto client,
       replica::ReplicatedFileClient::open(*options_.transport, *catalog,
                                           logical, *options_.estimator));
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.replicated_opens;
   return std::unique_ptr<vfs::FileClient>(std::move(client));
 }
@@ -282,7 +282,7 @@ Result<std::unique_ptr<vfs::FileClient>> FileMultiplexer::build_replicated(
 Result<std::size_t> FileMultiplexer::read(int fd, MutableByteSpan out) {
   vfs::FileClient* file;
   {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     const auto it = files_.find(fd);
     if (it == files_.end()) {
       return invalid_argument(strings::cat("bad descriptor ", fd));
@@ -291,7 +291,7 @@ Result<std::size_t> FileMultiplexer::read(int fd, MutableByteSpan out) {
   }
   auto got = file->read(out);
   if (got.is_ok()) {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     stats_.bytes_read += *got;
   }
   return got;
@@ -300,7 +300,7 @@ Result<std::size_t> FileMultiplexer::read(int fd, MutableByteSpan out) {
 Result<std::size_t> FileMultiplexer::write(int fd, ByteSpan data) {
   vfs::FileClient* file;
   {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     const auto it = files_.find(fd);
     if (it == files_.end()) {
       return invalid_argument(strings::cat("bad descriptor ", fd));
@@ -309,7 +309,7 @@ Result<std::size_t> FileMultiplexer::write(int fd, ByteSpan data) {
   }
   auto put = file->write(data);
   if (put.is_ok()) {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     stats_.bytes_written += *put;
   }
   return put;
@@ -317,7 +317,7 @@ Result<std::size_t> FileMultiplexer::write(int fd, ByteSpan data) {
 
 Result<std::uint64_t> FileMultiplexer::seek(int fd, std::int64_t offset,
                                             vfs::Whence whence) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   const auto it = files_.find(fd);
   if (it == files_.end()) {
     return invalid_argument(strings::cat("bad descriptor ", fd));
@@ -328,7 +328,7 @@ Result<std::uint64_t> FileMultiplexer::seek(int fd, std::int64_t offset,
 }
 
 Result<std::uint64_t> FileMultiplexer::tell(int fd) const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   const auto it = files_.find(fd);
   if (it == files_.end()) {
     return invalid_argument(strings::cat("bad descriptor ", fd));
@@ -337,7 +337,7 @@ Result<std::uint64_t> FileMultiplexer::tell(int fd) const {
 }
 
 Result<std::uint64_t> FileMultiplexer::size(int fd) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   const auto it = files_.find(fd);
   if (it == files_.end()) {
     return invalid_argument(strings::cat("bad descriptor ", fd));
@@ -348,7 +348,7 @@ Result<std::uint64_t> FileMultiplexer::size(int fd) {
 }
 
 Status FileMultiplexer::flush(int fd) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   const auto it = files_.find(fd);
   if (it == files_.end()) {
     return invalid_argument(strings::cat("bad descriptor ", fd));
@@ -361,7 +361,7 @@ Status FileMultiplexer::flush(int fd) {
 Status FileMultiplexer::close(int fd) {
   std::unique_ptr<vfs::FileClient> file;
   {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     const auto it = files_.find(fd);
     if (it == files_.end()) {
       return invalid_argument(strings::cat("bad descriptor ", fd));
@@ -376,7 +376,7 @@ Status FileMultiplexer::close(int fd) {
 Status FileMultiplexer::close_all() {
   std::map<int, std::unique_ptr<vfs::FileClient>> files;
   {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     files = std::move(files_);
     files_.clear();
   }
@@ -391,7 +391,7 @@ Status FileMultiplexer::close_all() {
 }
 
 Result<std::string> FileMultiplexer::describe(int fd) const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   const auto it = files_.find(fd);
   if (it == files_.end()) {
     return invalid_argument(strings::cat("bad descriptor ", fd));
@@ -400,7 +400,7 @@ Result<std::string> FileMultiplexer::describe(int fd) const {
 }
 
 FmStats FileMultiplexer::stats() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -14,10 +14,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "src/common/clock.h"
+#include "src/common/thread_annotations.h"
 #include "src/gns/service.h"
 #include "src/gridbuffer/file_client.h"
 #include "src/net/transport.h"
@@ -114,11 +114,12 @@ class FileMultiplexer {
   Clock& clock() const;
 
   Options options_;
-  mutable std::mutex mu_;
-  std::map<int, std::unique_ptr<vfs::FileClient>> files_;
-  int next_fd_ = 3;
-  FmStats stats_;
-  std::map<std::string, std::unique_ptr<replica::CatalogClient>> catalogs_;
+  mutable Mutex mu_;
+  std::map<int, std::unique_ptr<vfs::FileClient>> files_ GUARDED_BY(mu_);
+  int next_fd_ GUARDED_BY(mu_) = 3;
+  FmStats stats_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<replica::CatalogClient>> catalogs_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace griddles::core

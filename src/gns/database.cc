@@ -5,20 +5,20 @@
 namespace griddles::gns {
 
 void Database::add_rule(MappingRule rule) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   rules_.push_back(std::move(rule));
   ++version_;
 }
 
 void Database::set_rules(std::vector<MappingRule> rules) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   rules_ = std::move(rules);
   ++version_;
 }
 
 std::size_t Database::remove_rules(const std::string& host_pattern,
                                    const std::string& path_pattern) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   const auto it = std::remove_if(
       rules_.begin(), rules_.end(), [&](const MappingRule& rule) {
         return rule.host_pattern == host_pattern &&
@@ -32,7 +32,7 @@ std::size_t Database::remove_rules(const std::string& host_pattern,
 
 std::optional<FileMapping> Database::lookup(std::string_view host,
                                             std::string_view path) const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = rules_.rbegin(); it != rules_.rend(); ++it) {
     if (it->matches(host, path)) return it->mapping;
   }
@@ -40,19 +40,19 @@ std::optional<FileMapping> Database::lookup(std::string_view host,
 }
 
 std::vector<MappingRule> Database::rules() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   return rules_;
 }
 
 std::uint64_t Database::version() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   return version_;
 }
 
 Status Database::load_config(const Config& config) {
   GL_ASSIGN_OR_RETURN(std::vector<MappingRule> rules,
                       rules_from_config(config));
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   for (MappingRule& rule : rules) rules_.push_back(std::move(rule));
   ++version_;
   return Status::ok();

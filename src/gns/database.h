@@ -7,12 +7,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/gns/mapping.h"
+#include "src/common/thread_annotations.h"
 
 namespace griddles::gns {
 
@@ -45,9 +45,9 @@ class Database {
   Status load_config(const Config& config);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<MappingRule> rules_;
-  std::uint64_t version_ = 0;
+  mutable Mutex mu_;
+  std::vector<MappingRule> rules_ GUARDED_BY(mu_);
+  std::uint64_t version_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace griddles::gns

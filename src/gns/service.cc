@@ -74,7 +74,7 @@ Result<std::optional<FileMapping>> GnsClient::lookup(const std::string& host,
                                                      const std::string& path) {
   const auto key = std::make_pair(host, path);
   {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     if (cache_ttl_.count() > 0 && have_version_ &&
         WallClock::now() - validated_at_ < cache_ttl_) {
       const auto it = cache_.find(key);
@@ -98,7 +98,7 @@ Result<std::optional<FileMapping>> GnsClient::lookup(const std::string& host,
     GL_ASSIGN_OR_RETURN(mapping, decode_mapping(dec));
   }
 
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   if (!have_version_ || version != cached_version_) {
     cache_.clear();
     cached_version_ = version;
@@ -149,13 +149,13 @@ Result<std::uint64_t> GnsClient::version() {
 }
 
 void GnsClient::invalidate_cache() {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   cache_.clear();
   have_version_ = false;
 }
 
 std::uint64_t GnsClient::cache_hits() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   return cache_hits_;
 }
 

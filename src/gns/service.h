@@ -9,10 +9,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 
 #include "src/gns/database.h"
+#include "src/common/thread_annotations.h"
 #include "src/net/rpc.h"
 
 namespace griddles::gns {
@@ -74,13 +74,13 @@ class GnsClient {
  private:
   net::RpcClient rpc_;
   const std::chrono::milliseconds cache_ttl_;
-  mutable std::mutex mu_;
-  std::uint64_t cached_version_ = 0;
-  bool have_version_ = false;
-  WallClock::time_point validated_at_{};
+  mutable Mutex mu_;
+  std::uint64_t cached_version_ GUARDED_BY(mu_) = 0;
+  bool have_version_ GUARDED_BY(mu_) = false;
+  WallClock::time_point validated_at_ GUARDED_BY(mu_){};
   std::map<std::pair<std::string, std::string>, std::optional<FileMapping>>
-      cache_;
-  std::uint64_t cache_hits_ = 0;
+      cache_ GUARDED_BY(mu_);
+  std::uint64_t cache_hits_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace griddles::gns

@@ -27,7 +27,7 @@ Channel::~Channel() {
 }
 
 std::uint64_t Channel::add_reader() {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   const std::uint64_t id = next_reader_id_++;
   readers_[id] = Reader{};
   ++readers_seen_;
@@ -36,7 +36,7 @@ std::uint64_t Channel::add_reader() {
 }
 
 void Channel::remove_reader(std::uint64_t reader_id) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   readers_.erase(reader_id);
   evict_locked();
   cv_.notify_all();
@@ -118,7 +118,7 @@ Result<Bytes> Channel::cache_read_locked(std::uint64_t offset,
 }
 
 Status Channel::write(std::uint64_t offset, ByteSpan data) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   if (shutdown_) return aborted_error("grid buffer shutting down");
   if (writer_closed_) {
     return failed_precondition(
@@ -145,7 +145,7 @@ Status Channel::write(std::uint64_t offset, ByteSpan data) {
     } else {
       evict_locked();
       if (table_bytes_ + data.size() <= config_.max_buffered_bytes) break;
-      cv_.wait(lock);
+      cv_.wait(mu_);
       if (writer_closed_) {
         return failed_precondition("writer closed while blocked");
       }
@@ -182,14 +182,14 @@ Status Channel::write(std::uint64_t offset, ByteSpan data) {
 
 void Channel::close_writer() {
   {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     writer_closed_ = true;
   }
   cv_.notify_all();
 }
 
 bool Channel::writer_closed() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   return writer_closed_;
 }
 
@@ -199,9 +199,8 @@ Result<ReadResult> Channel::read(std::uint64_t reader_id,
   const auto deadline =
       WallClock::now() + std::chrono::milliseconds(
                              deadline_ms == 0 ? 0 : deadline_ms);
-  std::unique_lock lock(mu_);
-  const auto reader_it = readers_.find(reader_id);
-  if (reader_it == readers_.end()) {
+  MutexLock lock(mu_);
+  if (readers_.find(reader_id) == readers_.end()) {
     return not_found(strings::cat("channel ", name_, ": unknown reader"));
   }
 
@@ -256,9 +255,16 @@ Result<ReadResult> Channel::read(std::uint64_t reader_id,
         }
         position += take;
       }
-      auto& reader = readers_[reader_id];
-      reader.consumed_upto =
-          std::max(reader.consumed_upto, offset + result.data.size());
+      // Re-find: remove_reader may have erased this reader while the loop
+      // waited on cv_ (operator[] here would silently resurrect it and
+      // stall eviction forever).
+      const auto reader_it = readers_.find(reader_id);
+      if (reader_it == readers_.end()) {
+        return not_found(
+            strings::cat("channel ", name_, ": reader removed mid-read"));
+      }
+      reader_it->second.consumed_upto = std::max(
+          reader_it->second.consumed_upto, offset + result.data.size());
       evict_locked();
       lock.unlock();
       cv_.notify_all();  // space may have been freed for the writer
@@ -283,9 +289,13 @@ Result<ReadResult> Channel::read(std::uint64_t reader_id,
         ReadResult result;
         result.frontier = frontier_;
         result.data.assign(take, std::byte{0});
-        auto& reader = readers_[reader_id];
-        reader.consumed_upto =
-            std::max(reader.consumed_upto, offset + take);
+        const auto reader_it = readers_.find(reader_id);
+        if (reader_it == readers_.end()) {
+          return not_found(
+              strings::cat("channel ", name_, ": reader removed mid-read"));
+        }
+        reader_it->second.consumed_upto =
+            std::max(reader_it->second.consumed_upto, offset + take);
         evict_locked();
         return result;
       }
@@ -297,8 +307,8 @@ Result<ReadResult> Channel::read(std::uint64_t reader_id,
 
     // Wait for the writer (or for an out-of-order block to land).
     if (deadline_ms == 0) {
-      cv_.wait(lock);
-    } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      cv_.wait(mu_);
+    } else if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
       return timeout_error(strings::cat("channel ", name_,
                                         ": read timed out at offset ",
                                         offset));
@@ -311,11 +321,11 @@ Result<ReadResult> Channel::stat(bool wait_for_eof,
   const auto deadline =
       WallClock::now() + std::chrono::milliseconds(
                              deadline_ms == 0 ? 0 : deadline_ms);
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   while (wait_for_eof && !writer_closed_ && !shutdown_) {
     if (deadline_ms == 0) {
-      cv_.wait(lock);
-    } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      cv_.wait(mu_);
+    } else if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
       return timeout_error(
           strings::cat("channel ", name_, ": stat timed out awaiting eof"));
     }
@@ -326,19 +336,19 @@ Result<ReadResult> Channel::stat(bool wait_for_eof,
 
 void Channel::shutdown() {
   {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   cv_.notify_all();
 }
 
 std::uint64_t Channel::buffered_bytes() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   return table_bytes_;
 }
 
 std::size_t Channel::buffered_blocks() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   return blocks_.size();
 }
 
@@ -360,7 +370,7 @@ std::string sanitize_for_filename(const std::string& name) {
 
 Result<std::shared_ptr<Channel>> ChannelStore::open(
     const std::string& name, const ChannelConfig& config) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   const auto it = channels_.find(name);
   if (it != channels_.end()) {
     const ChannelConfig& existing = it->second->config();
@@ -383,7 +393,7 @@ Result<std::shared_ptr<Channel>> ChannelStore::open(
 }
 
 Result<std::shared_ptr<Channel>> ChannelStore::find(const std::string& name) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   const auto it = channels_.find(name);
   if (it == channels_.end()) {
     return not_found(strings::cat("no grid buffer channel ", name));
@@ -392,7 +402,7 @@ Result<std::shared_ptr<Channel>> ChannelStore::find(const std::string& name) {
 }
 
 Status ChannelStore::remove(const std::string& name) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   const auto it = channels_.find(name);
   if (it == channels_.end()) {
     return not_found(strings::cat("no grid buffer channel ", name));
@@ -406,12 +416,12 @@ Status ChannelStore::remove(const std::string& name) {
 }
 
 void ChannelStore::shutdown_all() {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, channel] : channels_) channel->shutdown();
 }
 
 std::vector<std::string> ChannelStore::channel_names() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(channels_.size());
   for (const auto& [name, channel] : channels_) names.push_back(name);

@@ -11,12 +11,10 @@
 // the data or closes the channel.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -25,6 +23,7 @@
 #include "src/common/bytes.h"
 #include "src/common/clock.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 
 namespace griddles::gridbuffer {
 
@@ -92,38 +91,41 @@ class Channel {
   /// Lowest offset any present-or-future reader still needs. Zero until
   /// expected_readers have registered (so an early writer can't outrun
   /// late-joining readers).
-  std::uint64_t min_consumed_locked() const;
+  std::uint64_t min_consumed_locked() const REQUIRES(mu_);
 
   /// Drops fully-consumed blocks from the table; spills to cache first
-  /// when enabled. Called with mu_ held.
-  void evict_locked();
+  /// when enabled.
+  void evict_locked() REQUIRES(mu_);
 
   /// Appends `data` at `offset` in the cache file.
-  Status cache_write_locked(std::uint64_t offset, ByteSpan data);
+  Status cache_write_locked(std::uint64_t offset, ByteSpan data)
+      REQUIRES(mu_);
   /// Reads `length` bytes at `offset` from the cache file.
   Result<Bytes> cache_read_locked(std::uint64_t offset,
-                                  std::uint32_t length) const;
+                                  std::uint32_t length) const REQUIRES(mu_);
 
   const std::string name_;
   const ChannelConfig config_;
   const std::string cache_path_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable Mutex mu_;
+  CondVar cv_;
 
-  std::unordered_map<std::uint64_t, Bytes> blocks_;   // block start -> data
-  std::map<std::uint64_t, std::uint32_t> block_sizes_;  // every write, ordered
-  std::uint64_t table_bytes_ = 0;
-  std::uint64_t evicted_upto_ = 0;  // eviction scan resume point
-  std::uint64_t frontier_ = 0;
-  bool writer_closed_ = false;
-  bool shutdown_ = false;
+  // block start -> data
+  std::unordered_map<std::uint64_t, Bytes> blocks_ GUARDED_BY(mu_);
+  // every write, ordered
+  std::map<std::uint64_t, std::uint32_t> block_sizes_ GUARDED_BY(mu_);
+  std::uint64_t table_bytes_ GUARDED_BY(mu_) = 0;
+  std::uint64_t evicted_upto_ GUARDED_BY(mu_) = 0;  // eviction resume point
+  std::uint64_t frontier_ GUARDED_BY(mu_) = 0;
+  bool writer_closed_ GUARDED_BY(mu_) = false;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 
-  std::map<std::uint64_t, Reader> readers_;
-  std::uint64_t next_reader_id_ = 1;
-  std::uint32_t readers_seen_ = 0;
+  std::map<std::uint64_t, Reader> readers_ GUARDED_BY(mu_);
+  std::uint64_t next_reader_id_ GUARDED_BY(mu_) = 1;
+  std::uint32_t readers_seen_ GUARDED_BY(mu_) = 0;
 
-  mutable int cache_fd_ = -1;  // lazily opened
+  mutable int cache_fd_ GUARDED_BY(mu_) = -1;  // lazily opened
 };
 
 /// The channel registry a Grid Buffer server owns.
@@ -151,8 +153,8 @@ class ChannelStore {
 
  private:
   const std::string cache_dir_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<Channel>> channels_;
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<Channel>> channels_ GUARDED_BY(mu_);
 };
 
 }  // namespace griddles::gridbuffer

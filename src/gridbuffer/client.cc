@@ -53,7 +53,7 @@ GridBufferWriter::~GridBufferWriter() {
 }
 
 Status GridBufferWriter::pipeline_error() const {
-  std::scoped_lock lock(error_mu_);
+  MutexLock lock(error_mu_);
   return flusher_status_;
 }
 
@@ -77,7 +77,7 @@ void GridBufferWriter::flusher_main() {
     enc.put_bytes(item->data);
     auto reply = rpc.call(method_id(Method::kWrite), enc.buffer());
     if (!reply.is_ok()) {
-      std::scoped_lock lock(error_mu_);
+      MutexLock lock(error_mu_);
       if (flusher_status_.is_ok()) flusher_status_ = reply.status();
       // Keep draining so close() does not hang, but drop the data.
     }

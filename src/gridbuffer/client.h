@@ -10,10 +10,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "src/common/queue.h"
+#include "src/common/thread_annotations.h"
 #include "src/gridbuffer/server.h"
 #include "src/net/rpc.h"
 
@@ -95,8 +95,8 @@ class GridBufferWriter {
   std::vector<std::thread> flushers_;
   std::atomic<std::uint64_t> acked_blocks_{0};
   std::atomic<std::uint64_t> queued_blocks_{0};
-  mutable std::mutex error_mu_;
-  Status flusher_status_;
+  mutable Mutex error_mu_;
+  Status flusher_status_ GUARDED_BY(error_mu_);
 };
 
 class GridBufferReader {

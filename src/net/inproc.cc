@@ -1,10 +1,10 @@
 #include "src/net/inproc.h"
 
-#include <condition_variable>
 #include <deque>
 #include <thread>
 
 #include "src/common/queue.h"
+#include "src/common/thread_annotations.h"
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
@@ -30,8 +30,10 @@ class InProcChannel {
   Status send(ByteSpan message) {
     const Duration arrival =
         shaper_->arrival_time(clock_.now(), message.size());
-    std::unique_lock lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+    MutexLock lock(mu_);
+    not_full_.wait(mu_, [&]() REQUIRES(mu_) {
+      return closed_ || queue_.size() < capacity_;
+    });
     if (closed_) return closed_error("inproc channel closed");
     queue_.push_back(Msg{arrival, Bytes(message.begin(), message.end())});
     lock.unlock();
@@ -40,11 +42,13 @@ class InProcChannel {
   }
 
   Result<Bytes> recv(const WallClock::time_point* deadline) {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     while (true) {
       if (deadline == nullptr) {
-        not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
-      } else if (!not_empty_.wait_until(lock, *deadline, [&] {
+        not_empty_.wait(mu_, [&]() REQUIRES(mu_) {
+          return closed_ || !queue_.empty();
+        });
+      } else if (!not_empty_.wait_until(mu_, *deadline, [&]() REQUIRES(mu_) {
                    return closed_ || !queue_.empty();
                  })) {
         return timeout_error("inproc recv timed out");
@@ -76,7 +80,7 @@ class InProcChannel {
 
   void close() {
     {
-      std::scoped_lock lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -92,11 +96,11 @@ class InProcChannel {
   Clock& clock_;
   std::shared_ptr<LinkShaper> shaper_;
   const std::size_t capacity_;
-  std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<Msg> queue_;
-  bool closed_ = false;
+  Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<Msg> queue_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 /// A connection endpoint: sends into one channel, receives from another.
@@ -173,14 +177,14 @@ std::unique_ptr<Transport> InProcNetwork::transport(std::string host) {
 }
 
 void InProcNetwork::set_channel_capacity(std::size_t messages) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   channel_capacity_ = messages;
 }
 
 Result<std::shared_ptr<internal::InProcListenerState>>
 InProcNetwork::register_listener(const Endpoint& endpoint) {
   const std::string key = internal::listener_key(endpoint);
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   const auto it = listeners_.find(key);
   if (it != listeners_.end() && !it->second.expired()) {
     return already_exists(
@@ -193,7 +197,7 @@ InProcNetwork::register_listener(const Endpoint& endpoint) {
 }
 
 void InProcNetwork::unregister_listener(const std::string& key) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   const auto it = listeners_.find(key);
   if (it != listeners_.end() && it->second.expired()) listeners_.erase(it);
   // A live entry is left in place: close() may race with a fresh bind to
@@ -202,7 +206,7 @@ void InProcNetwork::unregister_listener(const std::string& key) {
 
 std::shared_ptr<LinkShaper> InProcNetwork::shaper_for(
     const std::string& src, const std::string& dst) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = shapers_[{src, dst}];
   if (!slot) {
     slot = std::make_shared<LinkShaper>(links_, src, dst);
@@ -213,7 +217,7 @@ std::shared_ptr<LinkShaper> InProcNetwork::shaper_for(
 Result<std::shared_ptr<internal::InProcListenerState>>
 InProcNetwork::find_listener(const Endpoint& endpoint) {
   const std::string key = internal::listener_key(endpoint);
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   const auto it = listeners_.find(key);
   if (it == listeners_.end()) {
     return unavailable(
@@ -237,7 +241,7 @@ Result<std::unique_ptr<Connection>> InProcTransport::connect(
 
   std::size_t capacity;
   {
-    std::scoped_lock lock(network_.mu_);
+    MutexLock lock(network_.mu_);
     capacity = network_.channel_capacity_;
   }
   auto client_to_server = std::make_shared<internal::InProcChannel>(

@@ -10,10 +10,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "src/common/clock.h"
+#include "src/common/thread_annotations.h"
 #include "src/net/link_model.h"
 #include "src/net/transport.h"
 
@@ -60,13 +60,13 @@ class InProcNetwork {
 
   Clock& clock_;
   LinkTable links_;
-  std::mutex mu_;
+  Mutex mu_;
   std::map<std::string, std::weak_ptr<internal::InProcListenerState>>
-      listeners_;
+      listeners_ GUARDED_BY(mu_);
   std::map<std::pair<std::string, std::string>,
            std::shared_ptr<LinkShaper>>
-      shapers_;
-  std::size_t channel_capacity_ = 256;
+      shapers_ GUARDED_BY(mu_);
+  std::size_t channel_capacity_ GUARDED_BY(mu_) = 256;
 };
 
 /// Transport bound to one host identity on an InProcNetwork.

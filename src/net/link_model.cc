@@ -3,27 +3,27 @@
 namespace griddles::net {
 
 void LinkTable::set_default(LinkModel model) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   default_model_ = model;
   ++version_;
 }
 
 void LinkTable::set_link(const std::string& a, const std::string& b,
                          LinkModel model) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   links_[{a, b}] = model;
   links_[{b, a}] = model;
   ++version_;
 }
 
 std::uint64_t LinkTable::version() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   return version_;
 }
 
 LinkModel LinkTable::lookup(const std::string& src,
                             const std::string& dst) const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   if (src == dst) return LinkModel::unlimited();  // loopback
   const auto it = links_.find({src, dst});
   return it == links_.end() ? default_model_ : it->second;

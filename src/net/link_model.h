@@ -11,10 +11,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "src/common/clock.h"
+#include "src/common/thread_annotations.h"
 
 namespace griddles::net {
 
@@ -51,10 +51,11 @@ class LinkTable {
   std::uint64_t version() const;
 
  private:
-  mutable std::mutex mu_;
-  LinkModel default_model_{};
-  std::map<std::pair<std::string, std::string>, LinkModel> links_;
-  std::uint64_t version_ = 0;
+  mutable Mutex mu_;
+  LinkModel default_model_ GUARDED_BY(mu_){};
+  std::map<std::pair<std::string, std::string>, LinkModel> links_
+      GUARDED_BY(mu_);
+  std::uint64_t version_ GUARDED_BY(mu_) = 0;
 };
 
 /// Computes per-message delivery times over one shared serial link:
@@ -74,7 +75,7 @@ class LinkShaper {
   /// Returns the model time at which a message of `bytes` sent at
   /// `send_time` arrives, accounting for messages already in flight.
   Duration arrival_time(Duration send_time, std::size_t bytes) {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     if (table_ != nullptr) {
       const std::uint64_t version = table_->version();
       if (version != seen_version_) {
@@ -88,16 +89,19 @@ class LinkShaper {
     return link_free_at_ + model_.latency;
   }
 
-  const LinkModel& model() const noexcept { return model_; }
+  LinkModel model() const {
+    MutexLock lock(mu_);
+    return model_;
+  }
 
  private:
-  LinkModel model_;
+  mutable Mutex mu_;
+  LinkModel model_ GUARDED_BY(mu_);
   const LinkTable* table_ = nullptr;
   std::string src_;
   std::string dst_;
-  std::uint64_t seen_version_ = 0;
-  std::mutex mu_;
-  Duration link_free_at_{0};
+  std::uint64_t seen_version_ GUARDED_BY(mu_) = 0;
+  Duration link_free_at_ GUARDED_BY(mu_){0};
 };
 
 }  // namespace griddles::net

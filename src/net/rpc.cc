@@ -37,12 +37,12 @@ RpcServer::RpcServer(Transport& transport, Endpoint bind, WireFormat format)
 RpcServer::~RpcServer() { stop(); }
 
 void RpcServer::register_method(std::uint16_t method, RpcHandler handler) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   handlers_[method] = std::move(handler);
 }
 
 Status RpcServer::start() {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   if (started_) return failed_precondition("rpc server already started");
   GL_ASSIGN_OR_RETURN(listener_, transport_.listen(bind_));
   started_ = true;
@@ -51,7 +51,7 @@ Status RpcServer::start() {
 }
 
 Endpoint RpcServer::endpoint() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   return listener_ ? listener_->bound_endpoint() : bind_;
 }
 
@@ -59,7 +59,7 @@ void RpcServer::stop() {
   std::thread accept_thread;
   std::vector<std::thread> workers;
   {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     if (!started_ || stopping_.exchange(true)) {
       // Not started, or another stop() already in progress.
       if (!started_) return;
@@ -75,7 +75,7 @@ void RpcServer::stop() {
   for (std::thread& worker : workers) {
     if (worker.joinable()) worker.join();
   }
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   started_ = false;
   stopping_ = false;
   listener_.reset();
@@ -83,7 +83,7 @@ void RpcServer::stop() {
 }
 
 std::size_t RpcServer::live_connections() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   std::size_t live = 0;
   for (const auto& weak_conn : connections_) {
     if (!weak_conn.expired()) ++live;
@@ -92,15 +92,23 @@ std::size_t RpcServer::live_connections() const {
 }
 
 void RpcServer::accept_loop() {
+  // The listener outlives this loop: stop() closes it under the lock
+  // (which unblocks accept()) and only resets the pointer after this
+  // thread has been joined, so one snapshot up front is safe.
+  Listener* listener = nullptr;
+  {
+    MutexLock lock(mu_);
+    listener = listener_.get();
+  }
   while (!stopping_) {
-    auto accepted = listener_->accept();
+    auto accepted = listener->accept();
     if (!accepted.is_ok()) {
       if (accepted.status().code() == ErrorCode::kClosed || stopping_) return;
       GL_LOG(kWarn, "rpc accept failed: ", accepted.status());
       continue;
     }
     std::shared_ptr<Connection> conn = std::move(*accepted);
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) {
       conn->close();
       return;
@@ -140,7 +148,7 @@ void RpcServer::serve_connection(std::shared_ptr<Connection> conn) {
 
     RpcHandler* handler = nullptr;
     {
-      std::scoped_lock lock(mu_);
+      MutexLock lock(mu_);
       const auto it = handlers_.find(frame->method);
       if (it != handlers_.end()) handler = &it->second;
     }
@@ -169,7 +177,7 @@ RpcClient::RpcClient(Transport& transport, Endpoint server, WireFormat format)
     : transport_(transport), server_(std::move(server)), format_(format) {}
 
 RpcClient::~RpcClient() {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   if (conn_) conn_->close();
 }
 
@@ -180,7 +188,7 @@ Status RpcClient::ensure_connected() {
 }
 
 void RpcClient::reset_connection() {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   if (conn_) conn_->close();
   conn_.reset();
 }
@@ -196,7 +204,7 @@ Result<Bytes> RpcClient::call_until(std::uint16_t method, ByteSpan request,
 
 Result<Bytes> RpcClient::call_impl(std::uint16_t method, ByteSpan request,
                                    const WallClock::time_point* deadline) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   for (int attempt = 0; attempt < 2; ++attempt) {
     GL_RETURN_IF_ERROR(ensure_connected());
 

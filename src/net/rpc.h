@@ -11,13 +11,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/bytes.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/net/soap.h"
 #include "src/net/transport.h"
 
@@ -66,14 +66,14 @@ class RpcServer {
   Transport& transport_;
   Endpoint bind_;
   WireFormat format_;
-  std::map<std::uint16_t, RpcHandler> handlers_;
 
-  mutable std::mutex mu_;
-  std::unique_ptr<Listener> listener_;
-  std::thread accept_thread_;
-  std::vector<std::thread> workers_;
-  std::vector<std::weak_ptr<Connection>> connections_;
-  bool started_ = false;
+  mutable Mutex mu_;
+  std::map<std::uint16_t, RpcHandler> handlers_ GUARDED_BY(mu_);
+  std::unique_ptr<Listener> listener_ GUARDED_BY(mu_);
+  std::thread accept_thread_ GUARDED_BY(mu_);
+  std::vector<std::thread> workers_ GUARDED_BY(mu_);
+  std::vector<std::weak_ptr<Connection>> connections_ GUARDED_BY(mu_);
+  bool started_ GUARDED_BY(mu_) = false;
   std::atomic<bool> stopping_{false};
 };
 
@@ -105,14 +105,14 @@ class RpcClient {
  private:
   Result<Bytes> call_impl(std::uint16_t method, ByteSpan request,
                           const WallClock::time_point* deadline);
-  Status ensure_connected();
+  Status ensure_connected() REQUIRES(mu_);
 
   Transport& transport_;
   Endpoint server_;
   WireFormat format_;
-  std::mutex mu_;
-  std::unique_ptr<Connection> conn_;
-  std::uint64_t next_id_ = 1;
+  Mutex mu_;
+  std::unique_ptr<Connection> conn_ GUARDED_BY(mu_);
+  std::uint64_t next_id_ GUARDED_BY(mu_) = 1;
 };
 
 /// Encodes/decodes RPC frames for the given wire format (exposed for the

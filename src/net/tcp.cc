@@ -10,9 +10,9 @@
 #include <atomic>
 #include <cerrno>
 #include <cstring>
-#include <mutex>
 
 #include "src/common/strings.h"
+#include "src/common/thread_annotations.h"
 
 namespace griddles::net {
 namespace {
@@ -118,7 +118,7 @@ class TcpConnection final : public Connection {
     if (message.size() > kMaxTcpMessageBytes) {
       return invalid_argument("tcp message exceeds frame cap");
     }
-    std::scoped_lock lock(send_mu_);
+    MutexLock lock(send_mu_);
     if (closed_.load() || !fd_.valid()) {
       return closed_error("tcp connection closed");
     }
@@ -151,7 +151,7 @@ class TcpConnection final : public Connection {
 
  private:
   Result<Bytes> recv_impl(const WallClock::time_point* deadline) {
-    std::scoped_lock lock(recv_mu_);
+    MutexLock lock(recv_mu_);
     if (closed_.load() || !fd_.valid()) {
       return closed_error("tcp connection closed");
     }
@@ -174,8 +174,8 @@ class TcpConnection final : public Connection {
 
   Fd fd_;
   std::string peer_;
-  std::mutex send_mu_;
-  std::mutex recv_mu_;
+  Mutex send_mu_;  // lint: guards the send half of fd_ (whole frames)
+  Mutex recv_mu_;  // lint: guards the recv half of fd_ (whole frames)
   std::atomic<bool> closed_{false};
 };
 

@@ -7,24 +7,24 @@
 namespace griddles::nws {
 
 void Series::add(double value, Duration at) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   history_.push_back(Sample{at, value});
   while (history_.size() > max_samples_) history_.pop_front();
 }
 
 std::size_t Series::size() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   return history_.size();
 }
 
 std::optional<double> Series::last() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   if (history_.empty()) return std::nullopt;
   return history_.back().value;
 }
 
 std::optional<double> Series::median(std::size_t window) const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   if (history_.empty()) return std::nullopt;
   const std::size_t n = std::min(window, history_.size());
   std::vector<double> values;
@@ -38,7 +38,7 @@ std::optional<double> Series::median(std::size_t window) const {
 }
 
 std::optional<double> Series::mean(std::size_t window) const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   if (history_.empty()) return std::nullopt;
   const std::size_t n = std::min(window, history_.size());
   double sum = 0;
@@ -49,7 +49,7 @@ std::optional<double> Series::mean(std::size_t window) const {
 }
 
 std::optional<double> Series::ewma(double alpha) const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   if (history_.empty()) return std::nullopt;
   double value = history_.front().value;
   for (std::size_t i = 1; i < history_.size(); ++i) {
@@ -101,7 +101,7 @@ double Series::predict_with(int predictor, std::size_t upto) const {
 }
 
 std::optional<double> Series::forecast() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   if (history_.empty()) return std::nullopt;
   if (history_.size() < 3) return history_.back().value;
 
@@ -123,19 +123,19 @@ std::optional<double> Series::forecast() const {
 }
 
 std::vector<Sample> Series::samples() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   return {history_.begin(), history_.end()};
 }
 
 void StaticLinkEstimator::set(const std::string& dst_host,
                               LinkEstimate estimate) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   estimates_[dst_host] = estimate;
 }
 
 Result<LinkEstimate> StaticLinkEstimator::estimate(
     const std::string& dst_host) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   const auto it = estimates_.find(dst_host);
   if (it == estimates_.end()) {
     return not_found(strings::cat("no link estimate for ", dst_host));

@@ -9,13 +9,13 @@
 #include <cstddef>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/common/clock.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 
 namespace griddles::nws {
 
@@ -53,11 +53,11 @@ class Series {
   std::vector<Sample> samples() const;
 
  private:
-  double predict_with(int predictor, std::size_t upto) const;
+  double predict_with(int predictor, std::size_t upto) const REQUIRES(mu_);
 
   const std::size_t max_samples_;
-  mutable std::mutex mu_;
-  std::deque<Sample> history_;
+  mutable Mutex mu_;
+  std::deque<Sample> history_ GUARDED_BY(mu_);
 };
 
 /// A latency/bandwidth estimate for one directed host pair.
@@ -87,8 +87,8 @@ class StaticLinkEstimator final : public LinkEstimator {
   Result<LinkEstimate> estimate(const std::string& dst_host) override;
 
  private:
-  std::mutex mu_;
-  std::map<std::string, LinkEstimate> estimates_;
+  Mutex mu_;
+  std::map<std::string, LinkEstimate> estimates_ GUARDED_BY(mu_);
 };
 
 }  // namespace griddles::nws

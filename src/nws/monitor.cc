@@ -35,21 +35,23 @@ Monitor::~Monitor() { stop(); }
 
 void Monitor::add_target(const std::string& dst_host,
                          net::Endpoint responder) {
-  std::scoped_lock lock(mu_);
-  auto target = std::make_unique<Target>();
+  MutexLock lock(mu_);
+  auto target = std::make_shared<Target>();
   target->responder = std::move(responder);
   targets_[dst_host] = std::move(target);
 }
 
 Status Monitor::probe_once(const std::string& dst_host) {
-  Target* target = nullptr;
+  // Holding a shared_ptr keeps the target alive across the (slow, lock-free)
+  // probe RPCs even if add_target concurrently replaces the map entry.
+  std::shared_ptr<Target> target;
   {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     const auto it = targets_.find(dst_host);
     if (it == targets_.end()) {
       return not_found(strings::cat("nws: unknown target ", dst_host));
     }
-    target = it->second.get();
+    target = it->second;
     if (!target->client) {
       target->client =
           std::make_unique<net::RpcClient>(transport_, target->responder);
@@ -93,7 +95,7 @@ Status Monitor::probe_once(const std::string& dst_host) {
 Status Monitor::probe_all() {
   std::vector<std::string> hosts;
   {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     hosts.reserve(targets_.size());
     for (const auto& [host, target] : targets_) hosts.push_back(host);
   }
@@ -131,7 +133,7 @@ void Monitor::stop() {
 }
 
 Result<LinkEstimate> Monitor::estimate(const std::string& dst_host) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   const auto it = targets_.find(dst_host);
   if (it == targets_.end()) {
     return not_found(strings::cat("nws: unknown target ", dst_host));
@@ -145,13 +147,13 @@ Result<LinkEstimate> Monitor::estimate(const std::string& dst_host) {
 }
 
 const Series* Monitor::latency_series(const std::string& dst_host) const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   const auto it = targets_.find(dst_host);
   return it == targets_.end() ? nullptr : &it->second->latency;
 }
 
 const Series* Monitor::bandwidth_series(const std::string& dst_host) const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   const auto it = targets_.find(dst_host);
   return it == targets_.end() ? nullptr : &it->second->bandwidth;
 }

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "src/common/clock.h"
+#include "src/common/thread_annotations.h"
 #include "src/net/rpc.h"
 #include "src/nws/forecast.h"
 
@@ -86,8 +87,10 @@ class Monitor final : public LinkEstimator {
   net::Transport& transport_;
   Clock& clock_;
   Options options_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Target>> targets_;
+  mutable Mutex mu_;
+  // shared_ptr: probe_once works on a target for several RPC round trips
+  // without the lock, and must survive add_target replacing the entry.
+  std::map<std::string, std::shared_ptr<Target>> targets_ GUARDED_BY(mu_);
   std::thread prober_;
   std::atomic<bool> running_{false};
 };

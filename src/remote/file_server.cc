@@ -41,7 +41,7 @@ Status FileServer::start() {
 
 void FileServer::stop() {
   rpc_.stop();
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [handle, file] : handles_) {
     if (file.fd >= 0) ::close(file.fd);
   }
@@ -49,7 +49,7 @@ void FileServer::stop() {
 }
 
 std::size_t FileServer::open_handles() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   return handles_.size();
 }
 
@@ -129,7 +129,7 @@ Result<Bytes> FileServer::handle_open(ByteSpan request) {
 
   std::uint64_t handle;
   {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     handle = next_handle_++;
     handles_[handle] = OpenFile{fd, write, path};
   }
@@ -142,7 +142,7 @@ Result<Bytes> FileServer::handle_open(ByteSpan request) {
 Result<Bytes> FileServer::handle_close(ByteSpan request) {
   xdr::Decoder dec(request);
   GL_ASSIGN_OR_RETURN(const std::uint64_t handle, dec.u64());
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   const auto it = handles_.find(handle);
   if (it == handles_.end()) {
     return not_found(strings::cat("no such handle ", handle));
@@ -159,7 +159,7 @@ Result<Bytes> FileServer::handle_pread(ByteSpan request) {
   GL_ASSIGN_OR_RETURN(const std::uint32_t length, dec.u32());
   int fd = -1;
   {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     const auto it = handles_.find(handle);
     if (it == handles_.end()) {
       return not_found(strings::cat("no such handle ", handle));
@@ -191,7 +191,7 @@ Result<Bytes> FileServer::handle_pwrite(ByteSpan request) {
   GL_ASSIGN_OR_RETURN(const Bytes data, dec.bytes());
   int fd = -1;
   {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     const auto it = handles_.find(handle);
     if (it == handles_.end()) {
       return not_found(strings::cat("no such handle ", handle));

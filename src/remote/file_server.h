@@ -9,10 +9,10 @@
 #include <filesystem>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "src/net/rpc.h"
+#include "src/common/thread_annotations.h"
 #include "src/remote/protocol.h"
 
 namespace griddles::remote {
@@ -56,9 +56,9 @@ class FileServer {
 
   std::filesystem::path root_;
   net::RpcServer rpc_;
-  mutable std::mutex mu_;
-  std::map<std::uint64_t, OpenFile> handles_;
-  std::uint64_t next_handle_ = 1;
+  mutable Mutex mu_;
+  std::map<std::uint64_t, OpenFile> handles_ GUARDED_BY(mu_);
+  std::uint64_t next_handle_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace griddles::remote

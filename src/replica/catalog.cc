@@ -25,7 +25,7 @@ Result<PhysicalReplica> decode_replica(xdr::Decoder& dec) {
 }
 
 void Catalog::add(const std::string& logical_name, PhysicalReplica replica) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   auto& copies = replicas_[logical_name];
   const auto it = std::find_if(
       copies.begin(), copies.end(),
@@ -39,7 +39,7 @@ void Catalog::add(const std::string& logical_name, PhysicalReplica replica) {
 
 bool Catalog::remove(const std::string& logical_name,
                      const std::string& host) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   const auto entry = replicas_.find(logical_name);
   if (entry == replicas_.end()) return false;
   auto& copies = entry->second;
@@ -54,7 +54,7 @@ bool Catalog::remove(const std::string& logical_name,
 
 Result<std::vector<PhysicalReplica>> Catalog::lookup(
     const std::string& logical_name) const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   const auto it = replicas_.find(logical_name);
   if (it == replicas_.end() || it->second.empty()) {
     return not_found(
@@ -64,7 +64,7 @@ Result<std::vector<PhysicalReplica>> Catalog::lookup(
 }
 
 std::vector<std::string> Catalog::logical_names() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(replicas_.size());
   for (const auto& [name, copies] : replicas_) names.push_back(name);

@@ -7,11 +7,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/net/rpc.h"
+#include "src/common/thread_annotations.h"
 #include "src/xdr/codec.h"
 
 namespace griddles::replica {
@@ -47,8 +47,9 @@ class Catalog {
   std::vector<std::string> logical_names() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::vector<PhysicalReplica>> replicas_;
+  mutable Mutex mu_;
+  std::map<std::string, std::vector<PhysicalReplica>> replicas_
+      GUARDED_BY(mu_);
 };
 
 enum class Method : std::uint16_t {

@@ -112,7 +112,7 @@ void MachineRuntime::disk_transfer(std::uint64_t bytes) {
                      (spec_.disk_mb_per_s * 1e6));
   Duration done;
   {
-    std::scoped_lock lock(disk_mu_);
+    MutexLock lock(disk_mu_);
     const Duration start = std::max(clock_.now(), disk_free_at_);
     disk_free_at_ = start + cost;
     done = disk_free_at_;
@@ -150,7 +150,7 @@ TestbedRuntime::TestbedRuntime(double wall_per_model, std::string work_root,
 }
 
 Result<MachineRuntime*> TestbedRuntime::machine(const std::string& name) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = machines_[name];
   if (!slot) {
     GL_ASSIGN_OR_RETURN(MachineSpec spec, find_machine(name));

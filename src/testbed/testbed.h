@@ -16,11 +16,11 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/thread_annotations.h"
 #include "src/net/inproc.h"
 
 namespace griddles::testbed {
@@ -73,8 +73,8 @@ class MachineRuntime {
   MachineSpec spec_;
   Clock& clock_;
   std::atomic<int> load_{0};
-  std::mutex disk_mu_;
-  Duration disk_free_at_{0};
+  Mutex disk_mu_;
+  Duration disk_free_at_ GUARDED_BY(disk_mu_){0};
 };
 
 /// A whole scaled-time testbed: clock, modelled network, machine
@@ -111,8 +111,9 @@ class TestbedRuntime {
   net::InProcNetwork network_;
   std::string work_root_;
   double byte_scale_;
-  std::mutex mu_;
-  std::map<std::string, std::unique_ptr<MachineRuntime>> machines_;
+  Mutex mu_;
+  std::map<std::string, std::unique_ptr<MachineRuntime>> machines_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace griddles::testbed

@@ -11,6 +11,7 @@
 #include "src/net/soap.h"
 #include "src/net/tcp.h"
 #include "src/xdr/codec.h"
+#include "tests/test_scaling.h"
 
 namespace griddles::net {
 namespace {
@@ -180,8 +181,9 @@ TEST(InProcTest, ParallelConnectionsShareOneLink) {
   // the link's bandwidth, not each get a full copy of it (this is what
   // keeps GridFTP-style parallel streams honest on a modelled WAN).
   // 1 model s = 10 wall ms, so connect/thread overhead (~2 ms wall)
-  // stays small against the 2-model-second transfers under test.
-  ScaledClock clock(0.01);
+  // stays small against the 2-model-second transfers under test
+  // (sanitizer builds run the clock slower for the same reason).
+  ScaledClock clock(0.01 * test_support::kClockScale);
   InProcNetwork network(clock);
   LinkModel model;
   model.bandwidth_bytes_per_sec = 1e6;  // 1 MB/s

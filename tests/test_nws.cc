@@ -4,6 +4,7 @@
 
 #include "src/net/inproc.h"
 #include "src/nws/monitor.h"
+#include "tests/test_scaling.h"
 
 namespace griddles::nws {
 namespace {
@@ -73,9 +74,12 @@ TEST(LinkEstimateTest, TransferSeconds) {
 }
 
 TEST(MonitorTest, ProbesMeasureModelledLink) {
-  // 1 model second = 5 wall ms. The monitor must *measure* the modelled
-  // WAN: latency 0.2 model s, bandwidth 1 MB/s.
-  ScaledClock clock(0.005);
+  // 1 model second = 20 wall ms. The monitor must *measure* the
+  // modelled WAN: latency 0.2 model s, bandwidth 1 MB/s. The clock is
+  // slow enough that ~1 ms of scheduler noise on a loaded machine stays
+  // well inside the probe tolerances (the bulk probe lasts ~4 ms wall),
+  // and sanitizer builds slow it down further.
+  ScaledClock clock(0.02 * test_support::kClockScale);
   net::InProcNetwork network(clock);
   net::LinkModel link;
   link.latency = from_seconds_d(0.2);

@@ -1,0 +1,32 @@
+// Shared clock scaling for tests that compare wall-clock-scaled modelled
+// runs against analytic expectations.
+//
+// Sanitizer instrumentation slows every memory access by 2-15x, which
+// inflates the fixed per-operation overhead (thread spawn, RPC dispatch,
+// scheduler wake-ups) relative to the modelled intervals under test.
+// Running the model clock proportionally slower keeps that overhead
+// small without loosening any tolerance — the assertions stay exactly as
+// strict in model time.
+#pragma once
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define GL_TEST_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define GL_TEST_UNDER_SANITIZER 1
+#endif
+#endif
+
+// Not named `testing` — inside `namespace griddles` that would shadow
+// gtest's `::testing` for unqualified lookups.
+namespace griddles::test_support {
+
+/// Multiply a test's wall-seconds-per-model-second by this factor when
+/// constructing its ScaledClock.
+#ifdef GL_TEST_UNDER_SANITIZER
+inline constexpr double kClockScale = 5.0;
+#else
+inline constexpr double kClockScale = 1.0;
+#endif
+
+}  // namespace griddles::test_support

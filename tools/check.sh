@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Builds and tests the repo under each correctness mode that the local
+# toolchain supports:
+#
+#   1. plain      default build + ctest + repo lint
+#   2. thread     ThreadSanitizer build + ctest
+#   3. address    AddressSanitizer+UBSan build + ctest
+#   4. clang-tsa  Clang -Wthread-safety -Werror build (skipped if no clang)
+#
+# Usage: tools/check.sh [mode...]    (default: plain thread address clang-tsa)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc)}
+MODES=("$@")
+[ ${#MODES[@]} -eq 0 ] && MODES=(plain thread address clang-tsa)
+
+run() { echo "+ $*" >&2; "$@"; }
+
+for mode in "${MODES[@]}"; do
+  echo "=== check: ${mode} ==="
+  case "${mode}" in
+    plain)
+      run cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+      run cmake --build build -j"${JOBS}"
+      run ctest --test-dir build --output-on-failure -j"${JOBS}"
+      run python3 tools/lint.py
+      ;;
+    thread)
+      run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DGRIDDLES_SANITIZE=thread
+      run cmake --build build-tsan -j"${JOBS}"
+      TSAN_OPTIONS="halt_on_error=1" \
+        run ctest --test-dir build-tsan --output-on-failure -j"${JOBS}"
+      ;;
+    address)
+      run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DGRIDDLES_SANITIZE=address
+      run cmake --build build-asan -j"${JOBS}"
+      ASAN_OPTIONS="detect_leaks=0" \
+        UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+        run ctest --test-dir build-asan --output-on-failure -j"${JOBS}"
+      ;;
+    clang-tsa)
+      if ! command -v clang++ >/dev/null 2>&1; then
+        echo "clang++ not found; skipping thread-safety analysis build" >&2
+        continue
+      fi
+      run cmake -B build-clang -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+        -DGRIDDLES_WERROR=ON
+      run cmake --build build-clang -j"${JOBS}"
+      ;;
+    *)
+      echo "unknown mode: ${mode}" >&2
+      exit 2
+      ;;
+  esac
+done
+echo "=== all checks passed ==="

@@ -1,0 +1,303 @@
+#!/usr/bin/env python3
+"""Repo lint: concurrency and error-handling invariants for GriddLeS.
+
+Checks (all over src/, headers and sources):
+
+  raw-primitive      No std::mutex / std::scoped_lock / std::unique_lock /
+                     std::lock_guard / std::condition_variable outside
+                     src/common/thread_annotations.h. All locking goes
+                     through the annotated Mutex/MutexLock/CondVar wrappers
+                     so Clang's thread-safety analysis sees every acquire.
+  mutex-annotation   Every `Mutex` data member must be referenced by at
+                     least one GUARDED_BY(...) / REQUIRES(...) annotation
+                     in the same file, or carry an inline justification:
+                     `// lint: guards <what it protects>`.
+  naked-lock         No direct .lock()/.unlock() on a mutex-named receiver
+                     (use MutexLock; the wrapper's own lock()/unlock() are
+                     private to enforce this at compile time under Clang).
+  discarded-status   A call to a Status/Result-returning function used as a
+                     bare statement silently drops the error. Handle it or
+                     append `// lint:allow-discarded-status`.
+  format             clang-format --dry-run over src/ tests/ tools/ bench/
+                     (skipped with a notice when clang-format is absent).
+
+Run from the repo root:  python3 tools/lint.py
+Self-check the checker:  python3 tools/lint.py --self-test
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+ANNOTATIONS_HEADER = pathlib.Path("src/common/thread_annotations.h")
+
+RAW_PRIMITIVES = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|scoped_lock|"
+    r"unique_lock|lock_guard|shared_lock|condition_variable(_any)?)\b"
+)
+MUTEX_MEMBER = re.compile(
+    r"^\s*(?:mutable\s+)?(?:griddles::)?Mutex\s+(\w+)\s*;"
+)
+GUARD_REF = re.compile(r"\b(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|"
+                       r"REQUIRES_SHARED|ACQUIRE|RELEASE|EXCLUDES|"
+                       r"ASSERT_CAPABILITY|RETURN_CAPABILITY)\s*\(\s*"
+                       r"(?:\w+\s*\.\s*)?(\w+)")
+GUARD_JUSTIFICATION = re.compile(r"//\s*lint:\s*guards\b")
+NAKED_LOCK = re.compile(r"\b(\w*(?:mu_|mutex_?))(?:\.|->)(?:un)?lock\s*\(")
+ALLOW_DISCARD = re.compile(r"//\s*lint:allow-discarded-status")
+FN_DECL = re.compile(
+    r"^\s*(?:virtual\s+)?(?:static\s+)?"
+    r"((?:Status|Result<[^;={}]*>)|void|bool|int|[\w:]+(?:<[^;={}]*>)?[&*]*)"
+    r"\s+(\w{4,})\s*\("
+)
+BARE_CALL = re.compile(r"^\s*(?:[\w.\->]+(?:\.|->))?(\w{4,})\s*\(")
+# Names shared with STL/std::filesystem methods the declaration scan
+# cannot see; never flagged.
+STL_COLLISIONS = {
+    "string", "size", "count", "empty", "data", "begin", "end", "find",
+    "erase", "insert", "substr", "c_str", "front", "back", "value", "get",
+    "reset", "swap", "clear", "wait", "stop", "close", "open", "load",
+    "store", "exchange", "join", "native",
+}
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes // comments and string literal contents (crude but enough)."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    return line.split("//", 1)[0]
+
+
+class Finding:
+    def __init__(self, check: str, path: str, lineno: int, message: str):
+        self.check = check
+        self.path = path
+        self.lineno = lineno
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.lineno}: [{self.check}] {self.message}"
+
+
+def check_raw_primitives(path: str, lines: list[str]) -> list[Finding]:
+    if pathlib.Path(path) == ANNOTATIONS_HEADER:
+        return []
+    out = []
+    for i, line in enumerate(lines, 1):
+        code = strip_comments_and_strings(line)
+        if RAW_PRIMITIVES.search(code) or "#include <mutex>" in code or \
+                "#include <condition_variable>" in code:
+            out.append(Finding(
+                "raw-primitive", path, i,
+                "use Mutex/MutexLock/CondVar from "
+                "src/common/thread_annotations.h, not std primitives"))
+    return out
+
+
+def check_mutex_annotations(path: str, lines: list[str]) -> list[Finding]:
+    if pathlib.Path(path) == ANNOTATIONS_HEADER:
+        return []
+    guarded: set[str] = set()
+    for line in lines:
+        for m in GUARD_REF.finditer(line):
+            guarded.add(m.group(1))
+    out = []
+    for i, line in enumerate(lines, 1):
+        m = MUTEX_MEMBER.match(strip_comments_and_strings(line))
+        if not m:
+            continue
+        name = m.group(1)
+        if name in guarded or GUARD_JUSTIFICATION.search(line):
+            continue
+        out.append(Finding(
+            "mutex-annotation", path, i,
+            f"Mutex member '{name}' guards nothing: add GUARDED_BY({name}) "
+            "to the protected members or justify with '// lint: guards ...'"))
+    return out
+
+
+def check_naked_locks(path: str, lines: list[str]) -> list[Finding]:
+    if pathlib.Path(path) == ANNOTATIONS_HEADER:
+        return []
+    out = []
+    for i, line in enumerate(lines, 1):
+        code = strip_comments_and_strings(line)
+        if NAKED_LOCK.search(code):
+            out.append(Finding(
+                "naked-lock", path, i,
+                "direct lock()/unlock() on a mutex: use MutexLock"))
+    return out
+
+
+def collect_status_functions(files: dict[str, list[str]]) -> set[str]:
+    """Names declared ONLY with Status/Result return types in src headers.
+
+    A name that also exists with some other return type (e.g. a void
+    close() beside a Status close(int)) is ambiguous for a textual check
+    and is excluded, as are common STL method names.
+    """
+    status_names: set[str] = set()
+    other_names: set[str] = set()
+    for path, lines in files.items():
+        if not path.endswith(".h"):
+            continue
+        for line in lines:
+            m = FN_DECL.match(strip_comments_and_strings(line))
+            if not m:
+                continue
+            ret, name = m.group(1), m.group(2)
+            if ret.startswith(("Status", "Result<")):
+                status_names.add(name)
+            else:
+                other_names.add(name)
+    return status_names - other_names - STL_COLLISIONS - {"Status", "Result"}
+
+
+def check_discarded_status(path: str, lines: list[str],
+                           status_fns: set[str]) -> list[Finding]:
+    out = []
+    prev_code = ";"
+    for i, line in enumerate(lines, 1):
+        code = strip_comments_and_strings(line).rstrip()
+        allowed = ALLOW_DISCARD.search(line)
+        starts_statement = prev_code.endswith((";", "{", "}", ":"))
+        if code.strip():
+            prev_code = code.strip()
+        if allowed or not starts_statement:
+            continue
+        # One whole statement on one line, value unconsumed.
+        if not code.endswith(");") or code.count("(") != code.count(")"):
+            continue
+        if ("=" in code or "return" in code or "(void)" in code or
+                "GL_RETURN_IF_ERROR" in code or "GL_ASSIGN_OR_RETURN" in code
+                or "EXPECT" in code or "ASSERT" in code):
+            continue
+        m = BARE_CALL.match(code)
+        if m and m.group(1) in status_fns:
+            out.append(Finding(
+                "discarded-status", path, i,
+                f"result of Status/Result-returning '{m.group(1)}' is "
+                "dropped; handle it or add '// lint:allow-discarded-status'"))
+    return out
+
+
+def check_format(paths: list[pathlib.Path]) -> list[Finding]:
+    binary = shutil.which("clang-format")
+    if binary is None:
+        print("lint: clang-format not found; skipping format check",
+              file=sys.stderr)
+        return []
+    proc = subprocess.run(
+        [binary, "--dry-run", "-Werror"] + [str(p) for p in paths],
+        cwd=REPO, capture_output=True, text=True)
+    if proc.returncode == 0:
+        return []
+    return [Finding("format", "<multiple>", 0,
+                    "clang-format check failed:\n" + proc.stderr.strip())]
+
+
+def source_files() -> list[pathlib.Path]:
+    out = []
+    for root in ("src", "tests", "tools", "bench", "examples"):
+        base = REPO / root
+        if base.is_dir():
+            out.extend(sorted(base.rglob("*.h")))
+            out.extend(sorted(base.rglob("*.cc")))
+    return out
+
+
+def run_checks(files: dict[str, list[str]],
+               with_format: bool = True) -> list[Finding]:
+    findings: list[Finding] = []
+    status_fns = collect_status_functions(
+        {p: l for p, l in files.items() if p.startswith("src/")})
+    for path, lines in files.items():
+        in_src = path.startswith("src/")
+        if in_src:
+            findings.extend(check_raw_primitives(path, lines))
+            findings.extend(check_mutex_annotations(path, lines))
+            findings.extend(check_naked_locks(path, lines))
+            findings.extend(check_discarded_status(path, lines, status_fns))
+    if with_format:
+        findings.extend(check_format(
+            [REPO / p for p in files if (REPO / p).exists()]))
+    return findings
+
+
+def self_test() -> int:
+    """Verifies every check fires on a deliberately-bad snippet."""
+    bad = {
+        "src/selftest/raw.cc": ["#include <mutex>",
+                                "std::mutex mu;"],
+        "src/selftest/unannotated.h": [
+            "class C {",
+            "  Mutex mu_;",          # guards nothing, no justification
+            "  int value_;",
+            "};"],
+        "src/selftest/naked.cc": ["void f() { mu_.lock(); mu_.unlock(); }"],
+        "src/selftest/drop.h": ["Status do_thing(int x);"],
+        "src/selftest/drop.cc": ["void g() {", "  do_thing(1);", "}"],
+    }
+    good = {
+        "src/selftest/ok.h": [
+            "class D {",
+            "  mutable Mutex mu_;",
+            "  int value_ GUARDED_BY(mu_) = 0;",
+            "  Mutex io_mu_;  // lint: guards stderr",
+            "};"],
+        "src/selftest/ok.cc": [
+            "void h() {",
+            "  MutexLock lock(mu_);",
+            "  lock.unlock();",
+            "  GL_RETURN_IF_ERROR(do_thing(2));",
+            "  do_thing(3);  // lint:allow-discarded-status",
+            "}"],
+    }
+    findings = run_checks({**bad, **good}, with_format=False)
+    fired = {f.check for f in findings}
+    expected = {"raw-primitive", "mutex-annotation", "naked-lock",
+                "discarded-status"}
+    ok = True
+    for check in sorted(expected):
+        if check not in fired:
+            print(f"self-test: check '{check}' did not fire on bad input")
+            ok = False
+    for f in findings:
+        if "/ok." in f.path:
+            print(f"self-test: false positive on good input: {f}")
+            ok = False
+    print("self-test " + ("passed" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the checks fire on known-bad snippets")
+    parser.add_argument("--no-format", action="store_true",
+                        help="skip the clang-format check")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+
+    files: dict[str, list[str]] = {}
+    for path in source_files():
+        rel = str(path.relative_to(REPO))
+        files[rel] = path.read_text().splitlines()
+    findings = run_checks(files, with_format=not args.no_format)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint: {len(findings)} finding(s)")
+        return 1
+    print(f"lint: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
