@@ -45,8 +45,11 @@ int main(int argc, char** argv) {
               "---------------------------------------------------");
 
   bool all_ok = true;
+  BenchJson bench_json("table2");
   std::vector<double> totals;
+  int exp_index = 0;
   for (const Experiment& experiment : experiments) {
+    ++exp_index;
     auto result = run_experiment("t2", apps::durability_pipeline,
                                  experiment.machines, experiment.mode,
                                  config);
@@ -69,6 +72,10 @@ int main(int argc, char** argv) {
                 mmss(result->predicted.total_seconds).c_str(),
                 stages.c_str());
     totals.push_back(result->measured.total_seconds);
+    const std::string key = strings::cat("exp", exp_index);
+    bench_json.add_time(key + ".total", result->measured.total_seconds);
+    bench_json.add_time(key + ".predicted",
+                        result->predicted.total_seconds);
   }
 
   if (totals.size() == 3 && totals[0] > 0) {
@@ -81,5 +88,6 @@ int main(int argc, char** argv) {
         "total.)\n");
     if (!shape) all_ok = false;
   }
+  if (!bench_json.write()) all_ok = false;
   return all_ok ? 0 : 1;
 }

@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
               "---------------------------------------------");
 
   bool all_ok = true;
+  BenchJson bench_json("table4");
   for (const PaperRow& row : kPaper) {
     auto files = run_experiment(
         std::string("t4f-") + row.machine, apps::climate_pipeline,
@@ -61,6 +62,10 @@ int main(int argc, char** argv) {
     }
     const double files_s = files->measured.total_seconds;
     const double buffers_s = buffers->measured.total_seconds;
+    bench_json.add_time(std::string(row.machine) + ".files", files_s);
+    bench_json.add_time(std::string(row.machine) + ".buffers", buffers_s);
+    bench_json.add_time(std::string(row.machine) + ".sequential",
+                        sequential->measured.total_seconds);
     const bool buffers_win = buffers_s < files_s;
     const bool paper_exception =
         std::string(row.machine) == "dione" ||
@@ -82,5 +87,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\n(Paper shape: buffers always beat files; buffer runs beat the "
       "sequential totals except on dione and vpac27.)\n");
+  if (!bench_json.write()) all_ok = false;
   return all_ok ? 0 : 1;
 }

@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
               "-----------------------------------------------");
 
   bool all_ok = true;
+  BenchJson bench_json("table5");
   int crossover_matches = 0;
   for (const PaperRow& row : kPaper) {
     const std::vector<std::string> machines = {row.a, row.a, row.b};
@@ -63,6 +64,9 @@ int main(int argc, char** argv) {
     }
     const double files_s = files->measured.total_seconds;
     const double buffers_s = buffers->measured.total_seconds;
+    bench_json.add_time(strings::cat(row.a, "-", row.b, ".files"), files_s);
+    bench_json.add_time(strings::cat(row.a, "-", row.b, ".buffers"),
+                        buffers_s);
     const bool buffers_win = buffers_s < files_s;
     if (buffers_win == row.paper_buffers_win) ++crossover_matches;
     std::printf("%-8s>%-8s| %8s / %8s | %8s / %8s | %8s / %8s | %s (%s)%s\n",
@@ -81,5 +85,6 @@ int main(int argc, char** argv) {
       "(Paper's conclusion: fast, low-latency links favour buffers; "
       "high-latency WAN links favour sequential runs with bulk file "
       "copies, because the copy \"sends larger blocks\".)\n");
+  if (!bench_json.write()) all_ok = false;
   return all_ok && crossover_matches >= 5 ? 0 : 1;
 }

@@ -20,6 +20,7 @@
 #include "src/common/strings.h"
 #include "src/common/tempfile.h"
 #include "src/desim/predict.h"
+#include "src/obs/export.h"
 #include "src/workflow/runner.h"
 
 namespace griddles::bench {
@@ -111,6 +112,51 @@ inline Result<ExperimentResult> run_experiment(
                       desim::predict(paper_spec, predict_options(mode)));
   return result;
 }
+
+/// Collects a bench's headline timings and writes them, plus a full
+/// metrics snapshot (per-mode open counts, byte counters, histograms),
+/// as `BENCH_<name>.json` in the working directory. CI uploads these as
+/// artifacts; compare runs with `diff <(jq -S . a.json) <(jq -S . b.json)`.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void add_time(std::string key, double seconds) {
+    times_.emplace_back(std::move(key), seconds);
+  }
+
+  /// Writes BENCH_<name>.json; returns false (after a stderr note) if
+  /// the file cannot be created.
+  bool write() const {
+    std::string json = "{\"bench\":";
+    json += obs::json_quote(name_);
+    json += ",\"times\":{";
+    for (std::size_t i = 0; i < times_.size(); ++i) {
+      if (i > 0) json.push_back(',');
+      json += obs::json_quote(times_[i].first);
+      json.push_back(':');
+      json += obs::json_number(times_[i].second);
+    }
+    json += "},\"metrics\":";
+    json += obs::to_json(obs::snapshot());
+    json.push_back('}');
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> times_;
+};
 
 inline std::string hms(double seconds) {
   return strings::format_hms(static_cast<long long>(seconds + 0.5));

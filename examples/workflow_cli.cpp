@@ -6,6 +6,10 @@
 //   ./build/examples/workflow_cli <workflow.ini>
 //   ./build/examples/workflow_cli --demo      (writes & runs an example)
 //
+// Telemetry (see DESIGN.md "Observability"):
+//   --metrics=<file|->   dump a JSON metrics snapshot after the run
+//   --trace=<file|->     record per-file IO spans, dump as JSON lines
+//
 // Config format:
 //   [workflow]
 //   name = demo
@@ -32,6 +36,8 @@
 #include "src/common/strings.h"
 #include "src/common/tempfile.h"
 #include "src/desim/predict.h"
+#include "src/obs/export.h"
+#include "src/obs/trace.h"
 #include "src/sched/scheduler.h"
 #include "src/workflow/runner.h"
 
@@ -198,19 +204,54 @@ outputs = DARLAM_OUT.DAT:60000000
 reread = 30000000
 )";
 
+Status dump_trace(const std::string& path) {
+  const std::string lines = obs::IoTracer::global().drain_json_lines();
+  if (path == "-") {
+    std::fwrite(lines.data(), 1, lines.size(), stdout);
+    return Status::ok();
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return io_error(strings::cat("cannot write trace file ", path));
+  }
+  out << lines;
+  return Status::ok();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <workflow.ini> | --demo\n", argv[0]);
+  std::string metrics_path;
+  std::string trace_path;
+  std::string input;
+  bool usage_error = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (strings::starts_with(arg, "--metrics=")) {
+      metrics_path = arg.substr(10);
+    } else if (strings::starts_with(arg, "--trace=")) {
+      trace_path = arg.substr(8);
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      usage_error = true;
+    }
+  }
+  if (input.empty() || usage_error) {
+    std::fprintf(stderr,
+                 "usage: %s [--metrics=<file|->] [--trace=<file|->] "
+                 "<workflow.ini> | --demo\n",
+                 argv[0]);
     return 2;
   }
+  if (!trace_path.empty()) obs::IoTracer::global().enable(true);
+
   Result<Config> config = invalid_argument("unset");
-  if (std::string(argv[1]) == "--demo") {
+  if (input == "--demo") {
     std::printf("demo workflow config:\n%s\n", kDemoConfig);
     config = Config::parse(kDemoConfig);
   } else {
-    config = Config::load(argv[1]);
+    config = Config::load(input);
   }
   if (!config.is_ok()) {
     std::fprintf(stderr, "config: %s\n",
@@ -222,6 +263,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n",
                  result.status().to_string().c_str());
     return 1;
+  }
+  if (!metrics_path.empty()) {
+    if (const Status s = obs::write_json_file(metrics_path, obs::snapshot());
+        !s.is_ok()) {
+      std::fprintf(stderr, "metrics: %s\n", s.to_string().c_str());
+      return 1;
+    }
+  }
+  if (!trace_path.empty()) {
+    if (const Status s = dump_trace(trace_path); !s.is_ok()) {
+      std::fprintf(stderr, "trace: %s\n", s.to_string().c_str());
+      return 1;
+    }
   }
   return *result;
 }

@@ -6,18 +6,20 @@
 
 namespace griddles::log {
 
+Level parse_level(std::string_view text) noexcept {
+  if (text == "trace") return Level::kTrace;
+  if (text == "debug") return Level::kDebug;
+  if (text == "info") return Level::kInfo;
+  if (text == "warn") return Level::kWarn;
+  if (text == "error") return Level::kError;
+  if (text == "off") return Level::kOff;
+  return Level::kWarn;
+}
+
 namespace {
 Level level_from_env() {
   const char* env = std::getenv("GRIDDLES_LOG");
-  if (env == nullptr) return Level::kWarn;
-  const std::string_view v(env);
-  if (v == "trace") return Level::kTrace;
-  if (v == "debug") return Level::kDebug;
-  if (v == "info") return Level::kInfo;
-  if (v == "warn") return Level::kWarn;
-  if (v == "error") return Level::kError;
-  if (v == "off") return Level::kOff;
-  return Level::kWarn;
+  return env == nullptr ? Level::kWarn : parse_level(env);
 }
 
 const char* level_tag(Level level) {

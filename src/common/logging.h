@@ -16,6 +16,10 @@ namespace griddles::log {
 
 enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
+/// Parses a $GRIDDLES_LOG value ("trace", "debug", "info", "warn",
+/// "error", "off"); anything else — including empty — is kWarn.
+Level parse_level(std::string_view text) noexcept;
+
 class Logger {
  public:
   /// Process-wide logger; level initialised from $GRIDDLES_LOG.

@@ -9,6 +9,7 @@ namespace griddles {
 
 namespace {
 std::uint64_t unique_suffix() {
+  // lint: not-a-metric (name uniquifier)
   static std::atomic<std::uint64_t> counter{0};
   static const std::uint64_t seed = std::random_device{}();
   return seed ^ (counter.fetch_add(1) + 0x9e3779b97f4a7c15ULL);

@@ -23,6 +23,34 @@ Result<net::Endpoint> parse_endpoint(const std::string& text,
   }
   return net::Endpoint::parse(text);
 }
+
+/// Process-wide FM metrics (handles cached once; increments lock-free).
+struct FmMetrics {
+  obs::Counter& open_local;
+  obs::Counter& open_staged;
+  obs::Counter& open_proxy;
+  obs::Counter& open_replicated;
+  obs::Counter& open_buffer;
+  obs::Counter& bytes_read;
+  obs::Counter& bytes_written;
+  obs::Histogram& open_latency_s;  // wall time of the OPEN decision+build
+
+  static FmMetrics& get() {
+    auto& registry = obs::MetricsRegistry::global();
+    static FmMetrics metrics{
+        registry.counter("fm.open.local"),
+        registry.counter("fm.open.staged"),
+        registry.counter("fm.open.proxy"),
+        registry.counter("fm.open.replicated"),
+        registry.counter("fm.open.buffer"),
+        registry.counter("fm.bytes.read"),
+        registry.counter("fm.bytes.written"),
+        registry.histogram("fm.open.latency_s",
+                           obs::exponential_bounds(1e-5, 10.0, 7)),
+    };
+    return metrics;
+  }
+};
 }  // namespace
 
 FileMultiplexer::FileMultiplexer(Options options)
@@ -61,6 +89,7 @@ Result<int> FileMultiplexer::open(const std::string& path,
   if (!flags.read && !flags.write) {
     return invalid_argument("open selects neither read nor write");
   }
+  const WallClock::time_point decision_start = WallClock::now();
   const std::string canonical = canonical_path(path);
 
   gns::FileMapping mapping;  // defaults to plain local IO
@@ -70,7 +99,7 @@ Result<int> FileMultiplexer::open(const std::string& path,
     if (found) mapping = *found;
   }
 
-  GL_ASSIGN_OR_RETURN(std::unique_ptr<vfs::FileClient> client,
+  GL_ASSIGN_OR_RETURN(BuiltClient built,
                       build_client(canonical, mapping, flags));
 
   // Heterogeneity: a record schema on the mapping inserts the XDR-style
@@ -78,19 +107,28 @@ Result<int> FileMultiplexer::open(const std::string& path,
   if (!mapping.record_schema.empty()) {
     GL_ASSIGN_OR_RETURN(const xdr::RecordSchema schema,
                         xdr::RecordSchema::parse(mapping.record_schema));
-    GL_ASSIGN_OR_RETURN(client, RecordTranscodingClient::wrap(
-                                    std::move(client), schema));
+    GL_ASSIGN_OR_RETURN(built.client, RecordTranscodingClient::wrap(
+                                          std::move(built.client), schema));
   }
+  FmMetrics::get().open_latency_s.observe(
+      to_seconds_d(WallClock::now() - decision_start));
+
+  OpenFile file;
+  file.span.host = options_.host;
+  file.span.path = canonical;
+  file.span.mode = built.mode;
+  file.span.open_s = to_seconds_d(clock().now());
+  file.client = std::move(built.client);
 
   MutexLock lock(mu_);
   const int fd = next_fd_++;
   GL_LOG(kDebug, "fm open host=", options_.host, " path=", canonical,
-         " -> fd ", fd, " [", client->describe(), "]");
-  files_[fd] = std::move(client);
+         " -> fd ", fd, " [", file.client->describe(), "]");
+  files_[fd] = std::move(file);
   return fd;
 }
 
-Result<std::unique_ptr<vfs::FileClient>> FileMultiplexer::build_client(
+Result<FileMultiplexer::BuiltClient> FileMultiplexer::build_client(
     const std::string& canonical, const gns::FileMapping& mapping,
     vfs::OpenFlags flags) {
   switch (mapping.mode) {
@@ -103,15 +141,15 @@ Result<std::unique_ptr<vfs::FileClient>> FileMultiplexer::build_client(
             TailingLocalFileClient::open(target, clock(),
                                          options_.poll_wait,
                                          options_.tail_poll_interval));
-        MutexLock lock(mu_);
-        ++stats_.local_opens;
-        return std::unique_ptr<vfs::FileClient>(std::move(tailing));
+        counters_.local_opens.add();
+        FmMetrics::get().open_local.add();
+        return BuiltClient{std::move(tailing), "tail"};
       }
       GL_ASSIGN_OR_RETURN(auto local,
                           vfs::LocalFileClient::open(target, flags));
-      MutexLock lock(mu_);
-      ++stats_.local_opens;
-      return std::unique_ptr<vfs::FileClient>(std::move(local));
+      counters_.local_opens.add();
+      FmMetrics::get().open_local.add();
+      return BuiltClient{std::move(local), "local"};
     }
 
     case gns::IoMode::kGridBuffer: {
@@ -133,9 +171,9 @@ Result<std::unique_ptr<vfs::FileClient>> FileMultiplexer::build_client(
           gridbuffer::GridBufferFileClient::open(
               *options_.transport, server, channel, flags, config,
               options_.buffer));
-      MutexLock lock(mu_);
-      ++stats_.buffer_opens;
-      return std::unique_ptr<vfs::FileClient>(std::move(client));
+      counters_.buffer_opens.add();
+      FmMetrics::get().open_buffer.add();
+      return BuiltClient{std::move(client), "buffer"};
     }
 
     case gns::IoMode::kRemoteProxy: {
@@ -149,9 +187,9 @@ Result<std::unique_ptr<vfs::FileClient>> FileMultiplexer::build_client(
           auto client,
           remote::RemoteFileClient::open(*options_.transport, server,
                                          mapping.remote_path, flags));
-      MutexLock lock(mu_);
-      ++stats_.proxy_opens;
-      return std::unique_ptr<vfs::FileClient>(std::move(client));
+      counters_.proxy_opens.add();
+      FmMetrics::get().open_proxy.add();
+      return BuiltClient{std::move(client), "proxy"};
     }
 
     case gns::IoMode::kRemoteCopy: {
@@ -169,9 +207,9 @@ Result<std::unique_ptr<vfs::FileClient>> FileMultiplexer::build_client(
           StagedFileClient::open(*options_.transport, clock(), server,
                                  mapping.remote_path, staging, flags,
                                  options_.copier));
-      MutexLock lock(mu_);
-      ++stats_.staged_opens;
-      return std::unique_ptr<vfs::FileClient>(std::move(client));
+      counters_.staged_opens.add();
+      FmMetrics::get().open_staged.add();
+      return BuiltClient{std::move(client), "staged"};
     }
 
     case gns::IoMode::kAuto:
@@ -183,7 +221,7 @@ Result<std::unique_ptr<vfs::FileClient>> FileMultiplexer::build_client(
   return internal_error("unhandled io mode");
 }
 
-Result<std::unique_ptr<vfs::FileClient>> FileMultiplexer::build_remote_auto(
+Result<FileMultiplexer::BuiltClient> FileMultiplexer::build_remote_auto(
     const std::string& canonical, const gns::FileMapping& mapping,
     vfs::OpenFlags flags) {
   if (options_.transport == nullptr) {
@@ -238,7 +276,7 @@ Result<std::unique_ptr<vfs::FileClient>> FileMultiplexer::build_remote_auto(
   return build_client(canonical, resolved, flags);
 }
 
-Result<std::unique_ptr<vfs::FileClient>> FileMultiplexer::build_replicated(
+Result<FileMultiplexer::BuiltClient> FileMultiplexer::build_replicated(
     const std::string& canonical, const gns::FileMapping& mapping,
     vfs::OpenFlags flags) {
   if (options_.transport == nullptr) {
@@ -274,9 +312,9 @@ Result<std::unique_ptr<vfs::FileClient>> FileMultiplexer::build_replicated(
       auto client,
       replica::ReplicatedFileClient::open(*options_.transport, *catalog,
                                           logical, *options_.estimator));
-  MutexLock lock(mu_);
-  ++stats_.replicated_opens;
-  return std::unique_ptr<vfs::FileClient>(std::move(client));
+  counters_.replicated_opens.add();
+  FmMetrics::get().open_replicated.add();
+  return BuiltClient{std::move(client), "replicated"};
 }
 
 Result<std::size_t> FileMultiplexer::read(int fd, MutableByteSpan out) {
@@ -287,12 +325,25 @@ Result<std::size_t> FileMultiplexer::read(int fd, MutableByteSpan out) {
     if (it == files_.end()) {
       return invalid_argument(strings::cat("bad descriptor ", fd));
     }
-    file = it->second.get();
+    file = it->second.client.get();
   }
+  const bool tracing = obs::IoTracer::global().enabled();
+  const WallClock::time_point start =
+      tracing ? WallClock::now() : WallClock::time_point{};
   auto got = file->read(out);
   if (got.is_ok()) {
-    MutexLock lock(mu_);
-    stats_.bytes_read += *got;
+    counters_.bytes_read.add(*got);
+    FmMetrics::get().bytes_read.add(*got);
+    if (tracing) {
+      const double waited = to_seconds_d(WallClock::now() - start);
+      MutexLock lock(mu_);
+      const auto it = files_.find(fd);
+      if (it != files_.end()) {
+        it->second.span.reads += 1;
+        it->second.span.bytes_read += *got;
+        it->second.span.read_wait_s += waited;
+      }
+    }
   }
   return got;
 }
@@ -305,12 +356,20 @@ Result<std::size_t> FileMultiplexer::write(int fd, ByteSpan data) {
     if (it == files_.end()) {
       return invalid_argument(strings::cat("bad descriptor ", fd));
     }
-    file = it->second.get();
+    file = it->second.client.get();
   }
   auto put = file->write(data);
   if (put.is_ok()) {
-    MutexLock lock(mu_);
-    stats_.bytes_written += *put;
+    counters_.bytes_written.add(*put);
+    FmMetrics::get().bytes_written.add(*put);
+    if (obs::IoTracer::global().enabled()) {
+      MutexLock lock(mu_);
+      const auto it = files_.find(fd);
+      if (it != files_.end()) {
+        it->second.span.writes += 1;
+        it->second.span.bytes_written += *put;
+      }
+    }
   }
   return put;
 }
@@ -322,7 +381,8 @@ Result<std::uint64_t> FileMultiplexer::seek(int fd, std::int64_t offset,
   if (it == files_.end()) {
     return invalid_argument(strings::cat("bad descriptor ", fd));
   }
-  vfs::FileClient* file = it->second.get();
+  vfs::FileClient* file = it->second.client.get();
+  it->second.span.seeks += 1;
   lock.unlock();  // seeks on buffer streams can block awaiting EOF
   return file->seek(offset, whence);
 }
@@ -333,7 +393,7 @@ Result<std::uint64_t> FileMultiplexer::tell(int fd) const {
   if (it == files_.end()) {
     return invalid_argument(strings::cat("bad descriptor ", fd));
   }
-  return it->second->tell();
+  return it->second.client->tell();
 }
 
 Result<std::uint64_t> FileMultiplexer::size(int fd) {
@@ -342,7 +402,7 @@ Result<std::uint64_t> FileMultiplexer::size(int fd) {
   if (it == files_.end()) {
     return invalid_argument(strings::cat("bad descriptor ", fd));
   }
-  vfs::FileClient* file = it->second.get();
+  vfs::FileClient* file = it->second.client.get();
   lock.unlock();  // stream sizes block until the writer closes
   return file->size();
 }
@@ -353,13 +413,21 @@ Status FileMultiplexer::flush(int fd) {
   if (it == files_.end()) {
     return invalid_argument(strings::cat("bad descriptor ", fd));
   }
-  vfs::FileClient* file = it->second.get();
+  vfs::FileClient* file = it->second.client.get();
   lock.unlock();
   return file->flush();
 }
 
+Status FileMultiplexer::finish_file(OpenFile file) {
+  // Closing outside the lock: staged files copy back, buffers drain.
+  const Status closed = file.client->close();
+  file.span.close_s = to_seconds_d(clock().now());
+  obs::IoTracer::global().record(std::move(file.span));
+  return closed;
+}
+
 Status FileMultiplexer::close(int fd) {
-  std::unique_ptr<vfs::FileClient> file;
+  OpenFile file;
   {
     MutexLock lock(mu_);
     const auto it = files_.find(fd);
@@ -369,12 +437,11 @@ Status FileMultiplexer::close(int fd) {
     file = std::move(it->second);
     files_.erase(it);
   }
-  // Closing outside the lock: staged files copy back, buffers drain.
-  return file->close();
+  return finish_file(std::move(file));
 }
 
 Status FileMultiplexer::close_all() {
-  std::map<int, std::unique_ptr<vfs::FileClient>> files;
+  std::map<int, OpenFile> files;
   {
     MutexLock lock(mu_);
     files = std::move(files_);
@@ -382,7 +449,7 @@ Status FileMultiplexer::close_all() {
   }
   Status first_error = Status::ok();
   for (auto& [fd, file] : files) {
-    if (const Status s = file->close();
+    if (const Status s = finish_file(std::move(file));
         !s.is_ok() && first_error.is_ok()) {
       first_error = s;
     }
@@ -396,12 +463,19 @@ Result<std::string> FileMultiplexer::describe(int fd) const {
   if (it == files_.end()) {
     return invalid_argument(strings::cat("bad descriptor ", fd));
   }
-  return it->second->describe();
+  return it->second.client->describe();
 }
 
 FmStats FileMultiplexer::stats() const {
-  MutexLock lock(mu_);
-  return stats_;
+  FmStats stats;
+  stats.local_opens = counters_.local_opens.value();
+  stats.staged_opens = counters_.staged_opens.value();
+  stats.proxy_opens = counters_.proxy_opens.value();
+  stats.replicated_opens = counters_.replicated_opens.value();
+  stats.buffer_opens = counters_.buffer_opens.value();
+  stats.bytes_read = counters_.bytes_read.value();
+  stats.bytes_written = counters_.bytes_written.value();
+  return stats;
 }
 
 }  // namespace griddles::core

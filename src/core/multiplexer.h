@@ -19,6 +19,8 @@
 #include "src/common/clock.h"
 #include "src/common/thread_annotations.h"
 #include "src/gns/service.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/gridbuffer/file_client.h"
 #include "src/net/transport.h"
 #include "src/nws/forecast.h"
@@ -29,7 +31,10 @@
 
 namespace griddles::core {
 
-/// Per-mode open counters (observable routing decisions).
+/// Per-mode open counters (observable routing decisions). A value
+/// snapshot of this multiplexer's atomic counters; the same events also
+/// feed the process-wide registry under `fm.*` (see DESIGN.md
+/// "Observability").
 struct FmStats {
   std::uint64_t local_opens = 0;
   std::uint64_t staged_opens = 0;       // whole-file copies (modes 2/5)
@@ -101,23 +106,50 @@ class FileMultiplexer {
   std::string canonical_path(const std::string& path) const;
 
  private:
-  Result<std::unique_ptr<vfs::FileClient>> build_client(
-      const std::string& canonical, const gns::FileMapping& mapping,
-      vfs::OpenFlags flags);
-  Result<std::unique_ptr<vfs::FileClient>> build_remote_auto(
-      const std::string& canonical, const gns::FileMapping& mapping,
-      vfs::OpenFlags flags);
-  Result<std::unique_ptr<vfs::FileClient>> build_replicated(
-      const std::string& canonical, const gns::FileMapping& mapping,
-      vfs::OpenFlags flags);
+  /// A routed client plus the mode label its mapping resolved to
+  /// ("local", "tail", "staged", "proxy", "replicated", "buffer").
+  struct BuiltClient {
+    std::unique_ptr<vfs::FileClient> client;
+    const char* mode = "local";
+  };
+  /// An open descriptor: the client and its in-progress trace span.
+  struct OpenFile {
+    std::unique_ptr<vfs::FileClient> client;
+    obs::IoSpan span;
+  };
+  /// This multiplexer's routing counters (atomic, lock-free); stats()
+  /// snapshots them. The same increments also land in the process-wide
+  /// registry so exporters see every FM instance aggregated.
+  struct ModeCounters {
+    obs::Counter local_opens;
+    obs::Counter staged_opens;
+    obs::Counter proxy_opens;
+    obs::Counter replicated_opens;
+    obs::Counter buffer_opens;
+    obs::Counter bytes_read;
+    obs::Counter bytes_written;
+  };
+
+  Result<BuiltClient> build_client(const std::string& canonical,
+                                   const gns::FileMapping& mapping,
+                                   vfs::OpenFlags flags);
+  Result<BuiltClient> build_remote_auto(const std::string& canonical,
+                                        const gns::FileMapping& mapping,
+                                        vfs::OpenFlags flags);
+  Result<BuiltClient> build_replicated(const std::string& canonical,
+                                       const gns::FileMapping& mapping,
+                                       vfs::OpenFlags flags);
   std::string staging_path_for(const std::string& canonical) const;
   Clock& clock() const;
+  /// Closes the client and emits its trace span (caller dropped it from
+  /// files_ already).
+  Status finish_file(OpenFile file);
 
   Options options_;
   mutable Mutex mu_;
-  std::map<int, std::unique_ptr<vfs::FileClient>> files_ GUARDED_BY(mu_);
+  std::map<int, OpenFile> files_ GUARDED_BY(mu_);
   int next_fd_ GUARDED_BY(mu_) = 3;
-  FmStats stats_ GUARDED_BY(mu_);
+  ModeCounters counters_;
   std::map<std::string, std::unique_ptr<replica::CatalogClient>> catalogs_
       GUARDED_BY(mu_);
 };

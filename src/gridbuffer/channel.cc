@@ -10,8 +10,35 @@
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/obs/metrics.h"
 
 namespace griddles::gridbuffer {
+
+namespace {
+/// Process-wide Grid Buffer metrics (handles cached once).
+struct GbMetrics {
+  obs::Gauge& bytes_buffered;   // sum of resident block bytes, all channels
+  obs::Gauge& blocks_buffered;  // resident block count, all channels
+  obs::Histogram& read_wait_s;  // wall time a reader blocked on the writer
+  obs::Counter& cache_hits;     // reads served from the spill cache file
+  obs::Counter& blocks_evicted;
+  obs::Counter& readers_added;
+
+  static GbMetrics& get() {
+    auto& registry = obs::MetricsRegistry::global();
+    static GbMetrics metrics{
+        registry.gauge("gridbuffer.bytes.buffered"),
+        registry.gauge("gridbuffer.blocks.buffered"),
+        registry.histogram("gridbuffer.read.wait_s",
+                           obs::exponential_bounds(1e-4, 10.0, 7)),
+        registry.counter("gridbuffer.cache.hits"),
+        registry.counter("gridbuffer.blocks.evicted"),
+        registry.counter("gridbuffer.readers.added"),
+    };
+    return metrics;
+  }
+};
+}  // namespace
 
 Channel::Channel(std::string name, ChannelConfig config,
                  std::string cache_path)
@@ -31,6 +58,7 @@ std::uint64_t Channel::add_reader() {
   const std::uint64_t id = next_reader_id_++;
   readers_[id] = Reader{};
   ++readers_seen_;
+  GbMetrics::get().readers_added.add();
   cv_.notify_all();  // eviction gating may have changed
   return id;
 }
@@ -63,6 +91,10 @@ void Channel::evict_locked() {
     const auto block = blocks_.find(it->first);
     if (block != blocks_.end()) {
       table_bytes_ -= block->second.size();
+      GbMetrics::get().bytes_buffered.sub(
+          static_cast<std::int64_t>(block->second.size()));
+      GbMetrics::get().blocks_buffered.sub(1);
+      GbMetrics::get().blocks_evicted.add();
       blocks_.erase(block);
     }
     evicted_upto_ = it->first + it->second;
@@ -141,6 +173,10 @@ Status Channel::write(std::uint64_t offset, ByteSpan data) {
           blocks_.begin(), blocks_.end(),
           [](const auto& a, const auto& b) { return a.first < b.first; });
       table_bytes_ -= oldest->second.size();
+      GbMetrics::get().bytes_buffered.sub(
+          static_cast<std::int64_t>(oldest->second.size()));
+      GbMetrics::get().blocks_buffered.sub(1);
+      GbMetrics::get().blocks_evicted.add();
       blocks_.erase(oldest);
     } else {
       evict_locked();
@@ -166,6 +202,9 @@ Status Channel::write(std::uint64_t offset, ByteSpan data) {
     const auto existing = blocks_.find(offset);
     if (existing != blocks_.end()) {
       table_bytes_ -= existing->second.size();
+      GbMetrics::get().bytes_buffered.sub(
+          static_cast<std::int64_t>(existing->second.size()));
+      GbMetrics::get().blocks_buffered.sub(1);
     }
     size_it->second = static_cast<std::uint32_t>(data.size());
   } else {
@@ -173,6 +212,9 @@ Status Channel::write(std::uint64_t offset, ByteSpan data) {
   }
   blocks_[offset] = Bytes(data.begin(), data.end());
   table_bytes_ += data.size();
+  GbMetrics::get().bytes_buffered.add(
+      static_cast<std::int64_t>(data.size()));
+  GbMetrics::get().blocks_buffered.add(1);
   frontier_ = std::max(frontier_, offset + data.size());
 
   lock.unlock();
@@ -243,6 +285,7 @@ Result<ReadResult> Channel::read(std::uint64_t reader_id,
         } else if (config_.cache_enabled) {
           GL_ASSIGN_OR_RETURN(const Bytes cached,
                               cache_read_locked(position, take));
+          GbMetrics::get().cache_hits.add();
           result.data.insert(result.data.end(), cached.begin(),
                              cached.end());
           if (cached.size() < take) break;  // short cache read: stop here
@@ -306,13 +349,18 @@ Result<ReadResult> Channel::read(std::uint64_t reader_id,
     }
 
     // Wait for the writer (or for an out-of-order block to land).
+    const auto wait_start = WallClock::now();
     if (deadline_ms == 0) {
       cv_.wait(mu_);
     } else if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
+      GbMetrics::get().read_wait_s.observe(
+          to_seconds_d(WallClock::now() - wait_start));
       return timeout_error(strings::cat("channel ", name_,
                                         ": read timed out at offset ",
                                         offset));
     }
+    GbMetrics::get().read_wait_s.observe(
+        to_seconds_d(WallClock::now() - wait_start));
   }
 }
 

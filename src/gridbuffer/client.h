@@ -93,7 +93,9 @@ class GridBufferWriter {
   };
   BoundedQueue<QueuedBlock> queue_;
   std::vector<std::thread> flushers_;
+  // lint: not-a-metric (flow control)
   std::atomic<std::uint64_t> acked_blocks_{0};
+  // lint: not-a-metric (flow control)
   std::atomic<std::uint64_t> queued_blocks_{0};
   mutable Mutex error_mu_;
   Status flusher_status_ GUARDED_BY(error_mu_);

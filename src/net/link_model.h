@@ -15,6 +15,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/thread_annotations.h"
+#include "src/obs/metrics.h"
 
 namespace griddles::net {
 
@@ -86,7 +87,15 @@ class LinkShaper {
     const Duration depart = std::max(send_time, link_free_at_);
     const Duration transmit = model_.transmit_time(bytes);
     link_free_at_ = depart + transmit;
-    return link_free_at_ + model_.latency;
+    const Duration arrival = link_free_at_ + model_.latency;
+    // Modelled delivery delay (queueing + transmit + propagation).
+    auto& registry = obs::MetricsRegistry::global();
+    static obs::Histogram& delay_s = registry.histogram(
+        "net.link.delay_s", obs::exponential_bounds(1e-4, 10.0, 7));
+    static obs::Counter& link_bytes = registry.counter("net.link.bytes");
+    delay_s.observe(to_seconds_d(arrival - send_time));
+    link_bytes.add(bytes);
+    return arrival;
   }
 
   LinkModel model() const {

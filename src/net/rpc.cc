@@ -2,9 +2,37 @@
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/obs/metrics.h"
 #include "src/xdr/codec.h"
 
 namespace griddles::net {
+
+namespace {
+/// Process-wide RPC metrics (handles cached once).
+struct RpcMetrics {
+  obs::Counter& client_calls;
+  obs::Counter& client_errors;  // calls that returned a non-ok Status
+  obs::Counter& client_bytes_sent;
+  obs::Counter& client_bytes_received;
+  obs::Counter& server_requests;
+  obs::Counter& server_bytes_in;
+  obs::Counter& server_bytes_out;
+
+  static RpcMetrics& get() {
+    auto& registry = obs::MetricsRegistry::global();
+    static RpcMetrics metrics{
+        registry.counter("rpc.client.calls"),
+        registry.counter("rpc.client.errors"),
+        registry.counter("rpc.client.bytes.sent"),
+        registry.counter("rpc.client.bytes.received"),
+        registry.counter("rpc.server.requests"),
+        registry.counter("rpc.server.bytes.in"),
+        registry.counter("rpc.server.bytes.out"),
+    };
+    return metrics;
+  }
+};
+}  // namespace
 
 Bytes encode_frame(const RpcFrame& frame, WireFormat format) {
   if (format == WireFormat::kSoap) return soap_encode(frame);
@@ -130,6 +158,7 @@ void RpcServer::serve_connection(std::shared_ptr<Connection> conn) {
       }
       return;
     }
+    RpcMetrics::get().server_bytes_in.add(message->size());
     auto frame = decode_frame(*message, format_);
     if (!frame.is_ok()) {
       GL_LOG(kWarn, "rpc bad frame from ", context.peer, ": ",
@@ -140,6 +169,7 @@ void RpcServer::serve_connection(std::shared_ptr<Connection> conn) {
       GL_LOG(kWarn, "rpc unexpected response frame from ", context.peer);
       return;
     }
+    RpcMetrics::get().server_requests.add();
 
     RpcFrame reply;
     reply.kind = FrameKind::kResponse;
@@ -164,6 +194,7 @@ void RpcServer::serve_connection(std::shared_ptr<Connection> conn) {
       }
     }
     const Bytes encoded = encode_frame(reply, format_);
+    RpcMetrics::get().server_bytes_out.add(encoded.size());
     if (const Status sent = conn->send(encoded); !sent.is_ok()) {
       if (sent.code() != ErrorCode::kClosed) {
         GL_LOG(kDebug, "rpc reply send failed: ", sent);
@@ -194,12 +225,18 @@ void RpcClient::reset_connection() {
 }
 
 Result<Bytes> RpcClient::call(std::uint16_t method, ByteSpan request) {
-  return call_impl(method, request, nullptr);
+  RpcMetrics::get().client_calls.add();
+  auto result = call_impl(method, request, nullptr);
+  if (!result.is_ok()) RpcMetrics::get().client_errors.add();
+  return result;
 }
 
 Result<Bytes> RpcClient::call_until(std::uint16_t method, ByteSpan request,
                                     WallClock::time_point deadline) {
-  return call_impl(method, request, &deadline);
+  RpcMetrics::get().client_calls.add();
+  auto result = call_impl(method, request, &deadline);
+  if (!result.is_ok()) RpcMetrics::get().client_errors.add();
+  return result;
 }
 
 Result<Bytes> RpcClient::call_impl(std::uint16_t method, ByteSpan request,
@@ -214,7 +251,9 @@ Result<Bytes> RpcClient::call_impl(std::uint16_t method, ByteSpan request,
     frame.method = method;
     frame.payload.assign(request.begin(), request.end());
 
-    const Status sent = conn_->send(encode_frame(frame, format_));
+    const Bytes encoded = encode_frame(frame, format_);
+    RpcMetrics::get().client_bytes_sent.add(encoded.size());
+    const Status sent = conn_->send(encoded);
     if (!sent.is_ok()) {
       conn_.reset();
       if (attempt == 0 && sent.code() == ErrorCode::kClosed) continue;
@@ -230,6 +269,7 @@ Result<Bytes> RpcClient::call_impl(std::uint16_t method, ByteSpan request,
       if (attempt == 0 && code == ErrorCode::kClosed) continue;
       return message.status();
     }
+    RpcMetrics::get().client_bytes_received.add(message->size());
     GL_ASSIGN_OR_RETURN(RpcFrame reply, decode_frame(*message, format_));
     if (reply.kind != FrameKind::kResponse || reply.id != frame.id) {
       conn_.reset();

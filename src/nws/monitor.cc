@@ -2,6 +2,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/obs/metrics.h"
 #include "src/xdr/codec.h"
 
 namespace griddles::nws {
@@ -42,6 +43,15 @@ void Monitor::add_target(const std::string& dst_host,
 }
 
 Status Monitor::probe_once(const std::string& dst_host) {
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& probes_ok = registry.counter("nws.probe.ok");
+  static obs::Counter& probes_failed = registry.counter("nws.probe.failed");
+  const Status status = probe_once_impl(dst_host);
+  (status.is_ok() ? probes_ok : probes_failed).add();
+  return status;
+}
+
+Status Monitor::probe_once_impl(const std::string& dst_host) {
   // Holding a shared_ptr keeps the target alive across the (slow, lock-free)
   // probe RPCs even if add_target concurrently replaces the map entry.
   std::shared_ptr<Target> target;
@@ -146,16 +156,21 @@ Result<LinkEstimate> Monitor::estimate(const std::string& dst_host) {
   return LinkEstimate{*latency, *bandwidth};
 }
 
-const Series* Monitor::latency_series(const std::string& dst_host) const {
+std::shared_ptr<const Series> Monitor::latency_series(
+    const std::string& dst_host) const {
   MutexLock lock(mu_);
   const auto it = targets_.find(dst_host);
-  return it == targets_.end() ? nullptr : &it->second->latency;
+  if (it == targets_.end()) return nullptr;
+  // Aliasing constructor: shares the Target's lifetime.
+  return std::shared_ptr<const Series>(it->second, &it->second->latency);
 }
 
-const Series* Monitor::bandwidth_series(const std::string& dst_host) const {
+std::shared_ptr<const Series> Monitor::bandwidth_series(
+    const std::string& dst_host) const {
   MutexLock lock(mu_);
   const auto it = targets_.find(dst_host);
-  return it == targets_.end() ? nullptr : &it->second->bandwidth;
+  if (it == targets_.end()) return nullptr;
+  return std::shared_ptr<const Series>(it->second, &it->second->bandwidth);
 }
 
 QueryService::QueryService(Monitor& monitor, net::Transport& transport,

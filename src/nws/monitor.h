@@ -72,11 +72,18 @@ class Monitor final : public LinkEstimator {
   /// successful probe).
   Result<LinkEstimate> estimate(const std::string& dst_host) override;
 
-  /// Raw series access for tests and the NWS query service.
-  const Series* latency_series(const std::string& dst_host) const;
-  const Series* bandwidth_series(const std::string& dst_host) const;
+  /// Raw series access for tests and the NWS query service. Shares
+  /// ownership with the target, so the series stays valid (and keeps
+  /// accumulating samples) even if add_target replaces the entry.
+  /// Null for unknown hosts.
+  std::shared_ptr<const Series> latency_series(
+      const std::string& dst_host) const;
+  std::shared_ptr<const Series> bandwidth_series(
+      const std::string& dst_host) const;
 
  private:
+  Status probe_once_impl(const std::string& dst_host);
+
   struct Target {
     net::Endpoint responder;
     std::unique_ptr<net::RpcClient> client;

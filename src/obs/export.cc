@@ -1,0 +1,349 @@
+#include "src/obs/export.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+
+#include "src/common/strings.h"
+
+namespace griddles::obs {
+
+MetricsSnapshot snapshot(const MetricsRegistry& registry) {
+  MetricsSnapshot snap;
+  registry.visit(
+      [&](const std::string& name, const Counter& c) {
+        snap.counters[name] = c.value();
+      },
+      [&](const std::string& name, const Gauge& g) {
+        snap.gauges[name] = g.value();
+      },
+      [&](const std::string& name, const Histogram& h) {
+        MetricsSnapshot::HistogramData data;
+        data.bounds = h.bounds();
+        data.counts.reserve(data.bounds.size() + 1);
+        for (std::size_t i = 0; i <= data.bounds.size(); ++i) {
+          data.counts.push_back(h.bucket_count(i));
+        }
+        data.count = h.count();
+        data.sum = h.sum();
+        snap.histograms[name] = std::move(data);
+      });
+  return snap;
+}
+
+std::string json_quote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_number(double value) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, end);
+}
+
+namespace {
+
+template <typename Map, typename ValueFn>
+void append_object(std::string& out, const char* key, const Map& map,
+                   ValueFn value) {
+  out += json_quote(key);
+  out += ":{";
+  bool first = true;
+  for (const auto& [name, entry] : map) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += json_quote(name);
+    out.push_back(':');
+    out += value(entry);
+  }
+  out.push_back('}');
+}
+
+template <typename T, typename ValueFn>
+std::string json_array(const std::vector<T>& values, ValueFn value) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += value(values[i]);
+  }
+  out.push_back(']');
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{";
+  append_object(out, "counters", snapshot.counters,
+                [](std::uint64_t v) { return std::to_string(v); });
+  out.push_back(',');
+  append_object(out, "gauges", snapshot.gauges,
+                [](std::int64_t v) { return std::to_string(v); });
+  out.push_back(',');
+  append_object(
+      out, "histograms", snapshot.histograms,
+      [](const MetricsSnapshot::HistogramData& h) {
+        std::string body = "{\"bounds\":";
+        body += json_array(h.bounds,
+                           [](double b) { return json_number(b); });
+        body += ",\"counts\":";
+        body += json_array(h.counts, [](std::uint64_t c) {
+          return std::to_string(c);
+        });
+        body += ",\"count\":";
+        body += std::to_string(h.count);
+        body += ",\"sum\":";
+        body += json_number(h.sum);
+        body.push_back('}');
+        return body;
+      });
+  out.push_back('}');
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Strict recursive-descent parser over the exporter's own grammar.
+
+namespace {
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  Status expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return invalid_argument(
+          strings::cat("metrics json: expected '", c, "' at offset ", pos_));
+    }
+    ++pos_;
+    return Status::ok();
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> string() {
+    GL_RETURN_IF_ERROR(expect('"'));
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return invalid_argument("metrics json: truncated \\u escape");
+            }
+            unsigned code = 0;
+            const auto [end, ec] = std::from_chars(
+                text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+            if (ec != std::errc{} || end != text_.data() + pos_ + 4) {
+              return invalid_argument("metrics json: bad \\u escape");
+            }
+            pos_ += 4;
+            c = static_cast<char>(code);  // exporter only escapes < 0x20
+            break;
+          }
+          default:
+            return invalid_argument(
+                strings::cat("metrics json: unknown escape \\", esc));
+        }
+      }
+      out.push_back(c);
+    }
+    GL_RETURN_IF_ERROR(expect('"'));
+    return out;
+  }
+
+  Result<double> number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    double value = 0;
+    const auto [end, ec] = std::from_chars(text_.data() + start,
+                                           text_.data() + pos_, value);
+    if (ec != std::errc{} || end != text_.data() + pos_ || start == pos_) {
+      return invalid_argument(
+          strings::cat("metrics json: bad number at offset ", start));
+    }
+    return value;
+  }
+
+  Status at_end() {
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return invalid_argument(
+          strings::cat("metrics json: trailing data at offset ", pos_));
+    }
+    return Status::ok();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// Parses `"key":{"name":<value>,...}` via `value(reader)` per entry.
+template <typename ValueFn>
+Status parse_section(JsonReader& reader, const char* key, ValueFn value) {
+  GL_ASSIGN_OR_RETURN(const std::string got, reader.string());
+  if (got != key) {
+    return invalid_argument(
+        strings::cat("metrics json: expected section '", key, "', got '",
+                     got, "'"));
+  }
+  GL_RETURN_IF_ERROR(reader.expect(':'));
+  GL_RETURN_IF_ERROR(reader.expect('{'));
+  if (reader.consume('}')) return Status::ok();
+  do {
+    GL_ASSIGN_OR_RETURN(const std::string name, reader.string());
+    GL_RETURN_IF_ERROR(reader.expect(':'));
+    GL_RETURN_IF_ERROR(value(name, reader));
+  } while (reader.consume(','));
+  return reader.expect('}');
+}
+
+Result<std::vector<double>> parse_number_array(JsonReader& reader) {
+  GL_RETURN_IF_ERROR(reader.expect('['));
+  std::vector<double> out;
+  if (reader.consume(']')) return out;
+  do {
+    GL_ASSIGN_OR_RETURN(const double value, reader.number());
+    out.push_back(value);
+  } while (reader.consume(','));
+  GL_RETURN_IF_ERROR(reader.expect(']'));
+  return out;
+}
+
+}  // namespace
+
+Result<MetricsSnapshot> parse_snapshot(std::string_view json) {
+  JsonReader reader(json);
+  MetricsSnapshot snap;
+  GL_RETURN_IF_ERROR(reader.expect('{'));
+  GL_RETURN_IF_ERROR(parse_section(
+      reader, "counters", [&](const std::string& name, JsonReader& r) {
+        GL_ASSIGN_OR_RETURN(const double value, r.number());
+        snap.counters[name] = static_cast<std::uint64_t>(value);
+        return Status::ok();
+      }));
+  GL_RETURN_IF_ERROR(reader.expect(','));
+  GL_RETURN_IF_ERROR(parse_section(
+      reader, "gauges", [&](const std::string& name, JsonReader& r) {
+        GL_ASSIGN_OR_RETURN(const double value, r.number());
+        snap.gauges[name] = static_cast<std::int64_t>(value);
+        return Status::ok();
+      }));
+  GL_RETURN_IF_ERROR(reader.expect(','));
+  GL_RETURN_IF_ERROR(parse_section(
+      reader, "histograms", [&](const std::string& name, JsonReader& r) {
+        MetricsSnapshot::HistogramData data;
+        GL_RETURN_IF_ERROR(r.expect('{'));
+        GL_ASSIGN_OR_RETURN(std::string key, r.string());
+        if (key != "bounds") {
+          return invalid_argument("metrics json: histogram missing bounds");
+        }
+        GL_RETURN_IF_ERROR(r.expect(':'));
+        GL_ASSIGN_OR_RETURN(data.bounds, parse_number_array(r));
+        GL_RETURN_IF_ERROR(r.expect(','));
+        GL_ASSIGN_OR_RETURN(key, r.string());
+        if (key != "counts") {
+          return invalid_argument("metrics json: histogram missing counts");
+        }
+        GL_RETURN_IF_ERROR(r.expect(':'));
+        GL_ASSIGN_OR_RETURN(const std::vector<double> counts,
+                            parse_number_array(r));
+        for (const double c : counts) {
+          data.counts.push_back(static_cast<std::uint64_t>(c));
+        }
+        GL_RETURN_IF_ERROR(r.expect(','));
+        GL_ASSIGN_OR_RETURN(key, r.string());
+        if (key != "count") {
+          return invalid_argument("metrics json: histogram missing count");
+        }
+        GL_RETURN_IF_ERROR(r.expect(':'));
+        GL_ASSIGN_OR_RETURN(const double count, r.number());
+        data.count = static_cast<std::uint64_t>(count);
+        GL_RETURN_IF_ERROR(r.expect(','));
+        GL_ASSIGN_OR_RETURN(key, r.string());
+        if (key != "sum") {
+          return invalid_argument("metrics json: histogram missing sum");
+        }
+        GL_RETURN_IF_ERROR(r.expect(':'));
+        GL_ASSIGN_OR_RETURN(data.sum, r.number());
+        GL_RETURN_IF_ERROR(r.expect('}'));
+        snap.histograms[name] = std::move(data);
+        return Status::ok();
+      }));
+  GL_RETURN_IF_ERROR(reader.expect('}'));
+  GL_RETURN_IF_ERROR(reader.at_end());
+  return snap;
+}
+
+Status write_json_file(const std::string& path,
+                       const MetricsSnapshot& snapshot) {
+  const std::string json = to_json(snapshot);
+  if (path == "-") {
+    std::printf("%s\n", json.c_str());
+    return Status::ok();
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return io_error(strings::cat("cannot open metrics file ", path));
+  }
+  out << json << '\n';
+  out.close();
+  if (!out) return io_error(strings::cat("write failed: ", path));
+  return Status::ok();
+}
+
+}  // namespace griddles::obs

@@ -1,0 +1,57 @@
+// Snapshot/ToJson exporter for the metrics registry, plus the strict
+// mini-parser that reads the exporter's own output back (bench
+// comparison tooling, round-trip tests).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/metrics.h"
+
+namespace griddles::obs {
+
+/// A point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> bounds;          // upper bounds
+    std::vector<std::uint64_t> counts;   // bounds.size()+1 (overflow last)
+    std::uint64_t count = 0;
+    double sum = 0;
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
+};
+
+/// Captures the registry's current values (the process registry by
+/// default).
+MetricsSnapshot snapshot(
+    const MetricsRegistry& registry = MetricsRegistry::global());
+
+/// Renders a snapshot as one JSON object:
+///   {"counters":{...},"gauges":{...},
+///    "histograms":{"name":{"bounds":[...],"counts":[...],
+///                          "count":N,"sum":S}, ...}}
+std::string to_json(const MetricsSnapshot& snapshot);
+
+/// Parses to_json() output back into a snapshot (strict: accepts exactly
+/// the exporter's shape plus arbitrary whitespace).
+Result<MetricsSnapshot> parse_snapshot(std::string_view json);
+
+/// `"..."` with the JSON escapes the exporter needs (quote, backslash,
+/// control characters).
+std::string json_quote(std::string_view text);
+
+/// Shortest round-trippable rendering of a double (JSON number).
+std::string json_number(double value);
+
+/// Writes to_json(snapshot) to `path`; "-" writes to stdout.
+Status write_json_file(const std::string& path,
+                       const MetricsSnapshot& snapshot);
+
+}  // namespace griddles::obs

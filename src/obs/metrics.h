@@ -1,0 +1,173 @@
+// Process-wide metrics: named Counter / Gauge / Histogram handles.
+//
+// The registry is the single place runtime telemetry lives. Registration
+// (name -> handle) takes a mutex once; after that every increment or
+// observation on the returned handle is a branch plus a relaxed atomic —
+// no lock on the hot path, so the File Multiplexer, Grid Buffer and RPC
+// layers can record every operation without perturbing the modelled
+// timings they measure. Handles are never invalidated: the registry owns
+// them for the life of the process, so components cache references at
+// construction (or via a function-local static) and bump them freely
+// from any thread.
+//
+// Naming scheme (see DESIGN.md "Observability"): dot-separated
+// `<subsystem>.<object>.<aspect>`, with unit suffixes on histograms
+// (`_s` for seconds): `fm.open.local`, `gridbuffer.read.wait_s`,
+// `rpc.client.bytes.sent`.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/thread_annotations.h"
+
+namespace griddles::obs {
+
+/// Monotonically increasing event count. Increment is one relaxed
+/// fetch_add (lock-free on every supported target).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A level that can move both ways (bytes buffered, live connections).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void sub(std::int64_t delta) noexcept { add(-delta); }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over double samples. A sample lands in the
+/// first bucket whose upper bound is >= the value; values above every
+/// bound land in the implicit overflow bucket. observe() is a bounded
+/// branch scan plus three relaxed atomics (bucket, count, CAS-added sum).
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double value) noexcept {
+    std::size_t bucket = bounds_.size();  // overflow by default
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+      if (value <= bounds_[i]) {
+        bucket = i;
+        break;
+      }
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // Relaxed CAS loop: doubles have no hardware fetch_add everywhere.
+    std::uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+    while (!sum_bits_.compare_exchange_weak(
+        bits, std::bit_cast<std::uint64_t>(
+                  std::bit_cast<double>(bits) + value),
+        std::memory_order_relaxed)) {
+    }
+  }
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Count in bucket `i`; `i == bounds().size()` is the overflow bucket.
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept {
+    return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  }
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds+1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};  // bit-cast double
+};
+
+/// `count` bounds starting at `start`, each `factor` times the previous:
+/// the standard latency-histogram shape.
+std::vector<double> exponential_bounds(double start, double factor,
+                                       std::size_t count);
+
+/// Name -> handle registry. Thread-safe; handles live forever.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every subsystem reports into.
+  static MetricsRegistry& global();
+
+  /// Finds or creates; the returned reference is stable forever.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// First registration fixes the bucket bounds; later callers with the
+  /// same name get the existing histogram regardless of their bounds.
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds);
+
+  /// Visits every metric in name order (exporters, tests).
+  template <typename CounterFn, typename GaugeFn, typename HistogramFn>
+  void visit(CounterFn on_counter, GaugeFn on_gauge,
+             HistogramFn on_histogram) const {
+    MutexLock lock(mu_);
+    for (const auto& [name, c] : counters_) on_counter(name, *c);
+    for (const auto& [name, g] : gauges_) on_gauge(name, *g);
+    for (const auto& [name, h] : histograms_) on_histogram(name, *h);
+  }
+
+  /// Zeroes every registered metric (bench/test isolation). Handles stay
+  /// valid; concurrent increments are not lost structurally (they land
+  /// before or after the reset).
+  void reset();
+
+ private:
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mu_);
+};
+
+}  // namespace griddles::obs

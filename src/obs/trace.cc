@@ -1,0 +1,61 @@
+#include "src/obs/trace.h"
+
+#include "src/obs/export.h"
+
+namespace griddles::obs {
+
+std::string to_json_line(const IoSpan& span) {
+  std::string out = "{\"host\":";
+  out += json_quote(span.host);
+  out += ",\"path\":";
+  out += json_quote(span.path);
+  out += ",\"mode\":";
+  out += json_quote(span.mode);
+  out += ",\"open_s\":";
+  out += json_number(span.open_s);
+  out += ",\"close_s\":";
+  out += json_number(span.close_s);
+  out += ",\"bytes_read\":";
+  out += std::to_string(span.bytes_read);
+  out += ",\"bytes_written\":";
+  out += std::to_string(span.bytes_written);
+  out += ",\"reads\":";
+  out += std::to_string(span.reads);
+  out += ",\"writes\":";
+  out += std::to_string(span.writes);
+  out += ",\"seeks\":";
+  out += std::to_string(span.seeks);
+  out += ",\"read_wait_s\":";
+  out += json_number(span.read_wait_s);
+  out.push_back('}');
+  return out;
+}
+
+IoTracer& IoTracer::global() {
+  static IoTracer tracer;
+  return tracer;
+}
+
+void IoTracer::record(IoSpan span) {
+  if (!enabled()) return;
+  MutexLock lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<IoSpan> IoTracer::drain() {
+  MutexLock lock(mu_);
+  std::vector<IoSpan> out = std::move(spans_);
+  spans_.clear();
+  return out;
+}
+
+std::string IoTracer::drain_json_lines() {
+  std::string out;
+  for (const IoSpan& span : drain()) {
+    out += to_json_line(span);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace griddles::obs

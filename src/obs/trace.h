@@ -1,0 +1,73 @@
+// IoTracer: per-file IO spans, emitted as JSON lines.
+//
+// A span covers one descriptor's life in the File Multiplexer, open to
+// close: the routing mode the GNS mapping selected, bytes moved, call
+// counts, and wall time spent blocked inside reads (buffer stalls,
+// tailing polls, proxy round trips). The tracer is off by default —
+// enabled() is one relaxed atomic load, and when it returns false the FM
+// records nothing — so tracing costs nothing unless a run opts in
+// (`workflow_cli --trace=...`, or IoTracer::global().enable(true) in
+// tests).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_annotations.h"
+
+namespace griddles::obs {
+
+/// One open->close lifetime of a multiplexed file.
+struct IoSpan {
+  std::string host;    // FM host identity (a testbed machine name)
+  std::string path;    // canonical (GNS-key) path
+  std::string mode;    // routing decision: local|tail|staged|proxy|...
+  double open_s = 0;   // model time at open
+  double close_s = 0;  // model time at close
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t seeks = 0;
+  double read_wait_s = 0;  // wall seconds blocked inside read calls
+};
+
+/// Serializes one span as a single JSON object line (no trailing \n).
+std::string to_json_line(const IoSpan& span);
+
+/// Collects finished spans. record() is mutex-guarded but cold (once per
+/// file close); the hot-path question "is tracing on?" is an atomic.
+class IoTracer {
+ public:
+  IoTracer() = default;
+  IoTracer(const IoTracer&) = delete;
+  IoTracer& operator=(const IoTracer&) = delete;
+
+  /// The process-wide tracer the File Multiplexer reports into.
+  static IoTracer& global();
+
+  void enable(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Stores a finished span (no-op when disabled).
+  void record(IoSpan span);
+
+  /// Removes and returns every stored span.
+  std::vector<IoSpan> drain();
+
+  /// Drains and renders all spans as newline-separated JSON lines.
+  std::string drain_json_lines();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable Mutex mu_;
+  std::vector<IoSpan> spans_ GUARDED_BY(mu_);
+};
+
+}  // namespace griddles::obs

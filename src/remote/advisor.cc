@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
+
 namespace griddles::remote {
 
 Advice advise(std::uint64_t file_size, double access_fraction,
@@ -33,6 +35,23 @@ Advice advise(std::uint64_t file_size, double access_fraction,
        advice.copy_cost_seconds <= advice.proxy_cost_seconds)
           ? RemoteStrategy::kCopy
           : RemoteStrategy::kProxy;
+
+  // Decision telemetry: counts per strategy plus the predicted costs, so
+  // predicted-vs-actual can be compared against `remote.copy.seconds`.
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& copy_decisions =
+      registry.counter("advisor.decisions.copy");
+  static obs::Counter& proxy_decisions =
+      registry.counter("advisor.decisions.proxy");
+  static obs::Histogram& predicted_copy_s = registry.histogram(
+      "advisor.predicted.copy_s", obs::exponential_bounds(1e-3, 10.0, 8));
+  static obs::Histogram& predicted_proxy_s = registry.histogram(
+      "advisor.predicted.proxy_s", obs::exponential_bounds(1e-3, 10.0, 8));
+  (advice.strategy == RemoteStrategy::kCopy ? copy_decisions
+                                            : proxy_decisions)
+      .add();
+  predicted_copy_s.observe(advice.copy_cost_seconds);
+  predicted_proxy_s.observe(advice.proxy_cost_seconds);
   return advice;
 }
 

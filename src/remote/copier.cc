@@ -12,6 +12,7 @@
 
 #include "src/common/strings.h"
 #include "src/net/rpc.h"
+#include "src/obs/metrics.h"
 #include "src/remote/protocol.h"
 #include "src/vfs/local_client.h"
 #include "src/xdr/codec.h"
@@ -21,6 +22,17 @@ namespace griddles::remote {
 namespace {
 Status errno_status(const char* op, const std::string& path) {
   return io_error(strings::cat(op, " ", path, ": ", std::strerror(errno)));
+}
+
+/// Actual whole-file copy cost; the advisor's predictions live under
+/// `advisor.predicted.*` for comparison.
+void record_copy(const CopyStats& stats) {
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& copy_bytes = registry.counter("remote.copy.bytes");
+  static obs::Histogram& copy_seconds = registry.histogram(
+      "remote.copy.seconds", obs::exponential_bounds(1e-3, 10.0, 8));
+  copy_bytes.add(stats.bytes);
+  copy_seconds.observe(stats.seconds);
 }
 
 Result<std::uint64_t> remote_size(net::RpcClient& rpc,
@@ -71,6 +83,7 @@ Result<CopyStats> FileCopier::fetch(const net::Endpoint& server,
       std::max(1, options_.parallel_streams), std::max<std::uint64_t>(
                                                   1, num_chunks)));
 
+  // lint: not-a-metric (work distribution)
   std::atomic<std::uint64_t> next_chunk{0};
   std::vector<Status> stream_status(static_cast<std::size_t>(streams),
                                     Status::ok());
@@ -121,7 +134,9 @@ Result<CopyStats> FileCopier::fetch(const net::Endpoint& server,
   ::close(fd);
   for (const Status& status : stream_status) GL_RETURN_IF_ERROR(status);
 
-  return CopyStats{size, to_seconds_d(clock_.now() - start), streams};
+  const CopyStats stats{size, to_seconds_d(clock_.now() - start), streams};
+  record_copy(stats);
+  return stats;
 }
 
 Result<CopyStats> FileCopier::push(const std::string& local_path,
@@ -153,6 +168,7 @@ Result<CopyStats> FileCopier::push(const std::string& local_path,
       std::max(1, options_.parallel_streams), std::max<std::uint64_t>(
                                                   1, num_chunks)));
 
+  // lint: not-a-metric (work distribution)
   std::atomic<std::uint64_t> next_chunk{0};
   std::vector<Status> stream_status(static_cast<std::size_t>(streams),
                                     Status::ok());
@@ -198,7 +214,9 @@ Result<CopyStats> FileCopier::push(const std::string& local_path,
   ::close(fd);
   for (const Status& status : stream_status) GL_RETURN_IF_ERROR(status);
 
-  return CopyStats{size, to_seconds_d(clock_.now() - start), streams};
+  const CopyStats stats{size, to_seconds_d(clock_.now() - start), streams};
+  record_copy(stats);
+  return stats;
 }
 
 }  // namespace griddles::remote

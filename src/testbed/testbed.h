@@ -72,7 +72,7 @@ class MachineRuntime {
  private:
   MachineSpec spec_;
   Clock& clock_;
-  std::atomic<int> load_{0};
+  std::atomic<int> load_{0};  // lint: not-a-metric (scheduler load probe)
   Mutex disk_mu_;
   Duration disk_free_at_ GUARDED_BY(disk_mu_){0};
 };

@@ -80,6 +80,7 @@ Result<WorkflowReport> WorkflowRunner::run(const WorkflowSpec& spec,
 
   RunContext ctx;
   // A unique tag per run isolates GNS/service endpoints and channels.
+  // lint: not-a-metric (run-id)
   static std::atomic<std::uint64_t> run_counter{0};
   ctx.run_tag = strings::cat(spec.name, "-", run_counter.fetch_add(1));
 

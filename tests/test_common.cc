@@ -1,5 +1,5 @@
 // Unit tests for src/common: Status/Result, strings, config, clocks,
-// bounded queue, temp dirs.
+// bounded queue, temp dirs, log-level parsing.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -9,6 +9,7 @@
 #include "src/common/bytes.h"
 #include "src/common/clock.h"
 #include "src/common/config.h"
+#include "src/common/logging.h"
 #include "src/common/queue.h"
 #include "src/common/status.h"
 #include "src/common/strings.h"
@@ -297,6 +298,22 @@ TEST(BytesTest, Fnv1aIsStable) {
   EXPECT_EQ(fnv1a(as_bytes_view("")), 0xcbf29ce484222325ULL);
   EXPECT_NE(fnv1a(as_bytes_view("a")), fnv1a(as_bytes_view("b")));
   EXPECT_EQ(to_string(to_bytes("round trip")), "round trip");
+}
+
+TEST(LoggingTest, ParseLevelMapsEveryName) {
+  EXPECT_EQ(log::parse_level("trace"), log::Level::kTrace);
+  EXPECT_EQ(log::parse_level("debug"), log::Level::kDebug);
+  EXPECT_EQ(log::parse_level("info"), log::Level::kInfo);
+  EXPECT_EQ(log::parse_level("warn"), log::Level::kWarn);
+  EXPECT_EQ(log::parse_level("error"), log::Level::kError);
+  EXPECT_EQ(log::parse_level("off"), log::Level::kOff);
+}
+
+TEST(LoggingTest, ParseLevelDefaultsUnknownToWarn) {
+  EXPECT_EQ(log::parse_level(""), log::Level::kWarn);
+  EXPECT_EQ(log::parse_level("verbose"), log::Level::kWarn);
+  EXPECT_EQ(log::parse_level("DEBUG"), log::Level::kWarn);  // case matters
+  EXPECT_EQ(log::parse_level("warning"), log::Level::kWarn);
 }
 
 }  // namespace

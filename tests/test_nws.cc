@@ -154,6 +154,45 @@ TEST(MonitorTest, BackgroundProberCollectsSamples) {
   responder.stop();
 }
 
+TEST(MonitorTest, SeriesSurvivesTargetReplacement) {
+  RealClock clock;
+  net::InProcNetwork network(clock);
+  auto responder_transport = network.transport("freak");
+  Responder responder(*responder_transport,
+                      net::inproc_endpoint("freak", "nws"));
+  ASSERT_TRUE(responder.start().is_ok());
+
+  auto monitor_transport = network.transport("jagan");
+  Monitor::Options options;
+  options.bulk_bytes = 1024;
+  options.echo_count = 1;
+  Monitor monitor(*monitor_transport, clock, options);
+  monitor.add_target("freak", responder.endpoint());
+  ASSERT_TRUE(monitor.probe_once("freak").is_ok());
+
+  const std::shared_ptr<const Series> latency =
+      monitor.latency_series("freak");
+  const std::shared_ptr<const Series> bandwidth =
+      monitor.bandwidth_series("freak");
+  ASSERT_NE(latency, nullptr);
+  ASSERT_NE(bandwidth, nullptr);
+  const std::size_t samples = latency->size();
+  EXPECT_GE(samples, 1u);
+
+  // Re-registering the target replaces the map entry; the handed-out
+  // series must keep working (shared ownership, not a dangling pointer).
+  monitor.add_target("freak", responder.endpoint());
+  EXPECT_EQ(latency->size(), samples);
+  EXPECT_GE(bandwidth->size(), 1u);
+
+  // The replacement starts a fresh series.
+  const std::shared_ptr<const Series> fresh =
+      monitor.latency_series("freak");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->size(), 0u);
+  responder.stop();
+}
+
 TEST(QueryServiceTest, ServesEstimatesRemotely) {
   RealClock clock;
   net::InProcNetwork network(clock);

@@ -1,0 +1,286 @@
+// Tests for src/obs: registry counters under contention, histogram
+// bucket edges, JSON export round-trip, tracer spans, and an end-to-end
+// check that workflow runs feed the expected per-mode FM counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/apps/paper_apps.h"
+#include "src/common/tempfile.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/workflow/runner.h"
+#include "tests/test_scaling.h"
+
+namespace griddles {
+namespace {
+
+TEST(CounterTest, ExactUnderContention) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.counter("test.contended");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.add();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(CounterTest, HotPathIsLockFree) {
+  // The acceptance bar for instrumenting the FM/Grid Buffer hot paths:
+  // an increment must be a branch plus a relaxed atomic, never a mutex.
+  // The registry lock is only taken at registration time.
+  static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+                "obs::Counter increments must be lock-free");
+  static_assert(std::atomic<std::int64_t>::is_always_lock_free,
+                "obs::Gauge updates must be lock-free");
+}
+
+TEST(GaugeTest, MovesBothWays) {
+  obs::MetricsRegistry registry;
+  obs::Gauge& gauge = registry.gauge("test.level");
+  gauge.add(10);
+  gauge.sub(3);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.set(-2);
+  EXPECT_EQ(gauge.value(), -2);
+}
+
+TEST(HistogramTest, BucketEdgesAreInclusiveUpperBounds) {
+  obs::Histogram histogram({1.0, 10.0, 100.0});
+  histogram.observe(0.5);     // <= 1.0       -> bucket 0
+  histogram.observe(1.0);     // == bound     -> bucket 0 (inclusive)
+  histogram.observe(1.0001);  // just above   -> bucket 1
+  histogram.observe(10.0);    // == bound     -> bucket 1
+  histogram.observe(100.0);   // == last      -> bucket 2
+  histogram.observe(100.5);   // above all    -> overflow
+  EXPECT_EQ(histogram.bucket_count(0), 2u);
+  EXPECT_EQ(histogram.bucket_count(1), 2u);
+  EXPECT_EQ(histogram.bucket_count(2), 1u);
+  EXPECT_EQ(histogram.bucket_count(3), 1u);  // overflow
+  EXPECT_EQ(histogram.count(), 6u);
+  EXPECT_NEAR(histogram.sum(), 0.5 + 1.0 + 1.0001 + 10.0 + 100.0 + 100.5,
+              1e-9);
+}
+
+TEST(HistogramTest, SumExactUnderContention) {
+  obs::Histogram histogram({1.0});
+  constexpr int kThreads = 8;
+  constexpr int kObservations = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kObservations; ++i) histogram.observe(0.25);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(histogram.count(),
+            static_cast<std::uint64_t>(kThreads) * kObservations);
+  // 0.25 is exactly representable, so the CAS-loop sum has no rounding.
+  EXPECT_EQ(histogram.sum(), 0.25 * kThreads * kObservations);
+}
+
+TEST(HistogramTest, ExponentialBounds) {
+  const std::vector<double> bounds = obs::exponential_bounds(0.001, 10.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_NEAR(bounds[0], 0.001, 1e-12);
+  EXPECT_NEAR(bounds[1], 0.01, 1e-12);
+  EXPECT_NEAR(bounds[2], 0.1, 1e-12);
+  EXPECT_NEAR(bounds[3], 1.0, 1e-12);
+}
+
+TEST(RegistryTest, SameNameReturnsSameHandle) {
+  obs::MetricsRegistry registry;
+  obs::Counter& a = registry.counter("dup");
+  obs::Counter& b = registry.counter("dup");
+  EXPECT_EQ(&a, &b);
+  // First histogram registration fixes the bounds.
+  obs::Histogram& h1 = registry.histogram("h", {1.0, 2.0});
+  obs::Histogram& h2 = registry.histogram("h", {99.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(RegistryTest, ConcurrentRegistrationAndIncrement) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kNames = 16;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kNames; ++i) {
+        registry.counter("race." + std::to_string(i)).add();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int i = 0; i < kNames; ++i) {
+    EXPECT_EQ(registry.counter("race." + std::to_string(i)).value(),
+              static_cast<std::uint64_t>(kThreads));
+  }
+}
+
+TEST(ExportTest, JsonRoundTrip) {
+  obs::MetricsRegistry registry;
+  registry.counter("fm.open.local").add(42);
+  registry.counter("weird \"name\"\n").add(7);
+  registry.gauge("gridbuffer.bytes.buffered").set(-12);
+  obs::Histogram& histogram =
+      registry.histogram("fm.open.latency_s", {0.001, 0.1});
+  histogram.observe(0.0005);
+  histogram.observe(0.05);
+  histogram.observe(5.0);
+
+  const obs::MetricsSnapshot before = obs::snapshot(registry);
+  const std::string json = obs::to_json(before);
+  auto parsed = obs::parse_snapshot(json);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+
+  EXPECT_EQ(parsed->counters, before.counters);
+  EXPECT_EQ(parsed->gauges, before.gauges);
+  ASSERT_EQ(parsed->histograms.size(), 1u);
+  const auto& h = parsed->histograms.at("fm.open.latency_s");
+  EXPECT_EQ(h.bounds, std::vector<double>({0.001, 0.1}));
+  EXPECT_EQ(h.counts, std::vector<std::uint64_t>({1, 1, 1}));
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_NEAR(h.sum, 5.0505, 1e-9);
+}
+
+TEST(ExportTest, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(obs::parse_snapshot("").is_ok());
+  EXPECT_FALSE(obs::parse_snapshot("{}").is_ok());
+  EXPECT_FALSE(obs::parse_snapshot("{\"counters\":{").is_ok());
+  const std::string valid = obs::to_json(obs::MetricsSnapshot{});
+  EXPECT_TRUE(obs::parse_snapshot(valid).is_ok());
+  EXPECT_FALSE(obs::parse_snapshot(valid + "trailing").is_ok());
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  obs::IoTracer& tracer = obs::IoTracer::global();
+  tracer.enable(false);
+  (void)tracer.drain();
+  obs::IoSpan span;
+  span.path = "/ignored";
+  tracer.record(span);
+  EXPECT_TRUE(tracer.drain().empty());
+}
+
+TEST(TracerTest, SpanJsonLineHasEveryField) {
+  obs::IoSpan span;
+  span.host = "jagan";
+  span.path = "/data/OUT.DAT";
+  span.mode = "buffer";
+  span.open_s = 1.5;
+  span.close_s = 9.25;
+  span.bytes_read = 10;
+  span.bytes_written = 20;
+  span.reads = 1;
+  span.writes = 2;
+  span.seeks = 3;
+  span.read_wait_s = 0.5;
+  const std::string line = obs::to_json_line(span);
+  EXPECT_EQ(line,
+            "{\"host\":\"jagan\",\"path\":\"/data/OUT.DAT\","
+            "\"mode\":\"buffer\",\"open_s\":1.5,\"close_s\":9.25,"
+            "\"bytes_read\":10,\"bytes_written\":20,\"reads\":1,"
+            "\"writes\":2,\"seeks\":3,\"read_wait_s\":0.5}");
+}
+
+// End-to-end: the same pipeline run with staged files and with Grid
+// Buffers must land its opens in the matching per-mode counters, and the
+// tracer must see the spans.
+class WorkflowTelemetryTest : public ::testing::Test {
+ protected:
+  struct ModeDeltas {
+    std::uint64_t local = 0;
+    std::uint64_t buffer = 0;
+    std::vector<obs::IoSpan> spans;
+  };
+
+  static ModeDeltas run_pipeline(workflow::CouplingMode mode) {
+    auto& registry = obs::MetricsRegistry::global();
+    const std::uint64_t local_before =
+        registry.counter("fm.open.local").value();
+    const std::uint64_t buffer_before =
+        registry.counter("fm.open.buffer").value();
+    obs::IoTracer& tracer = obs::IoTracer::global();
+    tracer.enable(true);
+    (void)tracer.drain();
+
+    auto scratch = TempDir::create("obs-telemetry");
+    EXPECT_TRUE(scratch.is_ok());
+    testbed::TestbedRuntime testbed(
+        test_support::kClockScale / 4000.0, scratch->path().string(),
+        256.0);
+    workflow::WorkflowRunner runner(testbed);
+    auto spec = workflow::WorkflowSpec::from_pipeline(
+        "obs-telemetry", apps::climate_pipeline(256.0), {"jagan"});
+    EXPECT_TRUE(spec.is_ok());
+    workflow::WorkflowRunner::Options options;
+    options.mode = mode;
+    auto report = runner.run(*spec, options);
+    EXPECT_TRUE(report.is_ok()) << report.status().to_string();
+
+    ModeDeltas deltas;
+    deltas.local = registry.counter("fm.open.local").value() - local_before;
+    deltas.buffer =
+        registry.counter("fm.open.buffer").value() - buffer_before;
+    deltas.spans = tracer.drain();
+    tracer.enable(false);
+    return deltas;
+  }
+
+  static std::uint64_t spans_in_mode(const std::vector<obs::IoSpan>& spans,
+                                     const std::string& mode) {
+    std::uint64_t n = 0;
+    for (const obs::IoSpan& span : spans) n += span.mode == mode ? 1 : 0;
+    return n;
+  }
+};
+
+TEST_F(WorkflowTelemetryTest, StagedRunUsesLocalFiles) {
+  const ModeDeltas deltas =
+      run_pipeline(workflow::CouplingMode::kSequentialFiles);
+  // Single-machine sequential run: every open is plain local IO.
+  EXPECT_GT(deltas.local, 0u);
+  EXPECT_EQ(deltas.buffer, 0u);
+  ASSERT_FALSE(deltas.spans.empty());
+  EXPECT_GT(spans_in_mode(deltas.spans, "local"), 0u);
+  EXPECT_EQ(spans_in_mode(deltas.spans, "buffer"), 0u);
+  for (const obs::IoSpan& span : deltas.spans) {
+    EXPECT_EQ(span.host, "jagan");
+    EXPECT_GE(span.close_s, span.open_s);
+    EXPECT_GT(span.bytes_read + span.bytes_written, 0u) << span.path;
+  }
+}
+
+TEST_F(WorkflowTelemetryTest, BufferRunOpensGridBufferStreams) {
+  const ModeDeltas deltas = run_pipeline(workflow::CouplingMode::kGridBuffers);
+  // Inter-stage files become buffer channels; stage outputs to nowhere
+  // (and rereads) may stay local, so only the buffer count is exact.
+  EXPECT_GT(deltas.buffer, 0u);
+  ASSERT_FALSE(deltas.spans.empty());
+  const std::uint64_t buffer_spans = spans_in_mode(deltas.spans, "buffer");
+  EXPECT_EQ(buffer_spans, deltas.buffer);
+  bool saw_buffer_writer = false;
+  for (const obs::IoSpan& span : deltas.spans) {
+    if (span.mode == "buffer" && span.bytes_written > 0) {
+      saw_buffer_writer = true;
+    }
+  }
+  EXPECT_TRUE(saw_buffer_writer);
+}
+
+}  // namespace
+}  // namespace griddles

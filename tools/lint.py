@@ -18,6 +18,12 @@ Checks (all over src/, headers and sources):
   discarded-status   A call to a Status/Result-returning function used as a
                      bare statement silently drops the error. Handle it or
                      append `// lint:allow-discarded-status`.
+  raw-atomic-counter No integral std::atomic<...> outside src/obs/: event
+                     counts belong in the metrics registry (obs::Counter /
+                     obs::Gauge) so exporters see them. Non-metric uses
+                     (work distribution, id generation, flow control)
+                     justify with `// lint: not-a-metric (<why>)` on
+                     the same line or the line directly above.
   format             clang-format --dry-run over src/ tests/ tools/ bench/
                      (skipped with a notice when clang-format is absent).
 
@@ -50,6 +56,11 @@ GUARD_REF = re.compile(r"\b(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|"
                        r"(?:\w+\s*\.\s*)?(\w+)")
 GUARD_JUSTIFICATION = re.compile(r"//\s*lint:\s*guards\b")
 NAKED_LOCK = re.compile(r"\b(\w*(?:mu_|mutex_?))(?:\.|->)(?:un)?lock\s*\(")
+INTEGRAL_ATOMIC = re.compile(
+    r"std::atomic<\s*(?:std::)?"
+    r"(?:u?int(?:8|16|32|64)?_t|size_t|ptrdiff_t|int|unsigned|long|short)"
+)
+NOT_A_METRIC = re.compile(r"//\s*lint:\s*not-a-metric\b")
 ALLOW_DISCARD = re.compile(r"//\s*lint:allow-discarded-status")
 FN_DECL = re.compile(
     r"^\s*(?:virtual\s+)?(?:static\s+)?"
@@ -131,6 +142,25 @@ def check_naked_locks(path: str, lines: list[str]) -> list[Finding]:
             out.append(Finding(
                 "naked-lock", path, i,
                 "direct lock()/unlock() on a mutex: use MutexLock"))
+    return out
+
+
+def check_raw_atomic_counters(path: str, lines: list[str]) -> list[Finding]:
+    if path.startswith("src/obs/"):
+        return []
+    out = []
+    for i, line in enumerate(lines, 1):
+        code = strip_comments_and_strings(line)
+        if not INTEGRAL_ATOMIC.search(code):
+            continue
+        excused = NOT_A_METRIC.search(line) or (
+            i >= 2 and NOT_A_METRIC.search(lines[i - 2]))
+        if not excused:
+            out.append(Finding(
+                "raw-atomic-counter", path, i,
+                "integral std::atomic outside src/obs/: use obs::Counter/"
+                "obs::Gauge from the metrics registry, or justify with "
+                "'// lint: not-a-metric (<why>)'"))
     return out
 
 
@@ -222,6 +252,7 @@ def run_checks(files: dict[str, list[str]],
             findings.extend(check_raw_primitives(path, lines))
             findings.extend(check_mutex_annotations(path, lines))
             findings.extend(check_naked_locks(path, lines))
+            findings.extend(check_raw_atomic_counters(path, lines))
             findings.extend(check_discarded_status(path, lines, status_fns))
     if with_format:
         findings.extend(check_format(
@@ -242,6 +273,8 @@ def self_test() -> int:
         "src/selftest/naked.cc": ["void f() { mu_.lock(); mu_.unlock(); }"],
         "src/selftest/drop.h": ["Status do_thing(int x);"],
         "src/selftest/drop.cc": ["void g() {", "  do_thing(1);", "}"],
+        "src/selftest/counter.cc": [
+            "std::atomic<std::uint64_t> requests{0};"],
     }
     good = {
         "src/selftest/ok.h": [
@@ -257,11 +290,19 @@ def self_test() -> int:
             "  GL_RETURN_IF_ERROR(do_thing(2));",
             "  do_thing(3);  // lint:allow-discarded-status",
             "}"],
+        "src/selftest_atomic/ok.cc": [
+            "std::atomic<bool> running{false};",
+            "std::atomic<std::uint64_t> next_id{0};"
+            "  // lint: not-a-metric (id generator)",
+            "// lint: not-a-metric (sequence number)",
+            "std::atomic<std::uint64_t> seq_{0};"],
+        "src/obs/ok.cc": [
+            "std::atomic<std::uint64_t> value_{0};"],
     }
     findings = run_checks({**bad, **good}, with_format=False)
     fired = {f.check for f in findings}
     expected = {"raw-primitive", "mutex-annotation", "naked-lock",
-                "discarded-status"}
+                "discarded-status", "raw-atomic-counter"}
     ok = True
     for check in sorted(expected):
         if check not in fired:
