@@ -10,6 +10,10 @@
 //   --metrics=<file|->   dump a JSON metrics snapshot after the run
 //   --trace=<file|->     record per-file IO spans, dump as JSON lines
 //
+// Fault injection (see DESIGN.md §7, README "Fault injection"):
+//   --faults=<spec>      arm a deterministic fault plan for the run,
+//                        e.g. --faults='seed=7;drop@rpc:*>vpac27:p=0.2'
+//
 // Config format:
 //   [workflow]
 //   name = demo
@@ -36,6 +40,7 @@
 #include "src/common/strings.h"
 #include "src/common/tempfile.h"
 #include "src/desim/predict.h"
+#include "src/fault/plan.h"
 #include "src/obs/export.h"
 #include "src/obs/trace.h"
 #include "src/sched/scheduler.h"
@@ -78,7 +83,8 @@ Result<workflow::CouplingMode> parse_mode(const std::string& name) {
   return invalid_argument(strings::cat("unknown mode '", name, "'"));
 }
 
-Result<int> run_from_config(const Config& config) {
+Result<int> run_from_config(const Config& config,
+                            const std::string& fault_spec) {
   GL_ASSIGN_OR_RETURN(const std::string name,
                       config.get_required("workflow.name"));
   GL_ASSIGN_OR_RETURN(
@@ -125,6 +131,7 @@ Result<int> run_from_config(const Config& config) {
     return Result<int>(invalid_argument("no [task:*] sections"));
   }
 
+  double predicted_total = -1;
   if (auto_schedule) {
     // Let the coupling-aware scheduler place the stages.
     workflow::Scheduler::Options sched_options;
@@ -144,11 +151,19 @@ Result<int> run_from_config(const Config& config) {
     }
     std::printf("  (predicted %.0f s over %zu candidates)\n",
                 schedule.predicted_seconds, schedule.candidates_scored);
+    predicted_total = schedule.predicted_seconds;
   }
 
   GL_ASSIGN_OR_RETURN(auto scratch, TempDir::create("griddles-run"));
   testbed::TestbedRuntime testbed(1.0 / scale, scratch.path().string(),
                                   byte_scale);
+  std::shared_ptr<fault::Plan> plan;
+  if (!fault_spec.empty()) {
+    GL_ASSIGN_OR_RETURN(plan, fault::Plan::parse(fault_spec));
+    fault::arm(plan, &testbed.clock());
+    std::printf("fault plan armed: %zu rule(s), seed %llu\n",
+                plan->rules().size(), (unsigned long long)plan->seed());
+  }
   workflow::WorkflowRunner runner(testbed);
   GL_ASSIGN_OR_RETURN(
       const workflow::WorkflowSpec spec,
@@ -160,8 +175,14 @@ Result<int> run_from_config(const Config& config) {
               name.c_str(),
               std::string(workflow::coupling_mode_name(mode)).c_str(),
               scale);
+  auto run_result = runner.run(spec, options);
+  if (plan) {
+    fault::disarm();
+    std::printf("faults injected: %llu\n",
+                (unsigned long long)plan->injection_count());
+  }
   GL_ASSIGN_OR_RETURN(const workflow::WorkflowReport report,
-                      runner.run(spec, options));
+                      std::move(run_result));
   for (const auto& task : report.tasks) {
     std::printf("  %-16s on %-9s finished at %8.0f model s "
                 "(read %llu, wrote %llu bytes)\n",
@@ -174,6 +195,11 @@ Result<int> run_from_config(const Config& config) {
                 copy.from.c_str(), copy.to.c_str(), copy.seconds);
   }
   std::printf("total: %.0f model seconds\n", report.total_seconds);
+  if (predicted_total > 0) {
+    desim::record_accuracy(predicted_total, report.total_seconds);
+    std::printf("prediction accuracy: %.2fx actual/predicted\n",
+                report.total_seconds / predicted_total);
+  }
   return 0;
 }
 
@@ -223,6 +249,7 @@ Status dump_trace(const std::string& path) {
 int main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_path;
+  std::string fault_spec;
   std::string input;
   bool usage_error = false;
   for (int i = 1; i < argc; ++i) {
@@ -231,6 +258,8 @@ int main(int argc, char** argv) {
       metrics_path = arg.substr(10);
     } else if (strings::starts_with(arg, "--trace=")) {
       trace_path = arg.substr(8);
+    } else if (strings::starts_with(arg, "--faults=")) {
+      fault_spec = arg.substr(9);
     } else if (input.empty()) {
       input = arg;
     } else {
@@ -240,7 +269,7 @@ int main(int argc, char** argv) {
   if (input.empty() || usage_error) {
     std::fprintf(stderr,
                  "usage: %s [--metrics=<file|->] [--trace=<file|->] "
-                 "<workflow.ini> | --demo\n",
+                 "[--faults=<spec>] <workflow.ini> | --demo\n",
                  argv[0]);
     return 2;
   }
@@ -258,7 +287,7 @@ int main(int argc, char** argv) {
                  config.status().to_string().c_str());
     return 1;
   }
-  auto result = run_from_config(*config);
+  auto result = run_from_config(*config, fault_spec);
   if (!result.is_ok()) {
     std::fprintf(stderr, "error: %s\n",
                  result.status().to_string().c_str());

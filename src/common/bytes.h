@@ -29,14 +29,21 @@ inline ByteSpan as_bytes_view(std::string_view text) {
   return {reinterpret_cast<const std::byte*>(text.data()), text.size()};
 }
 
-/// 64-bit FNV-1a; used for content checksums in tests and replica etags.
-inline std::uint64_t fnv1a(ByteSpan bytes) {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
+/// 64-bit FNV-1a; used for content checksums in tests, replica etags and
+/// copy verification. The incremental form hashes a stream chunk by
+/// chunk: seed with kFnv1aSeed, fold each chunk through fnv1a_update.
+constexpr std::uint64_t kFnv1aSeed = 0xcbf29ce484222325ULL;
+
+inline std::uint64_t fnv1a_update(std::uint64_t hash, ByteSpan bytes) {
   for (const std::byte b : bytes) {
     hash ^= static_cast<std::uint64_t>(b);
     hash *= 0x100000001b3ULL;
   }
   return hash;
+}
+
+inline std::uint64_t fnv1a(ByteSpan bytes) {
+  return fnv1a_update(kFnv1aSeed, bytes);
 }
 
 }  // namespace griddles

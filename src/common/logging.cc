@@ -18,7 +18,8 @@ Level parse_level(std::string_view text) noexcept {
 
 namespace {
 Level level_from_env() {
-  const char* env = std::getenv("GRIDDLES_LOG");
+  // Read once at startup before any thread could call setenv.
+  const char* env = std::getenv("GRIDDLES_LOG");  // NOLINT(concurrency-mt-unsafe)
   return env == nullptr ? Level::kWarn : parse_level(env);
 }
 

@@ -19,6 +19,7 @@ std::string_view error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kAborted: return "ABORTED";
     case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
     case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kDataLoss: return "DATA_LOSS";
   }
   return "UNKNOWN";
 }
@@ -78,6 +79,9 @@ Status unimplemented(std::string msg) {
 }
 Status internal_error(std::string msg) {
   return {ErrorCode::kInternal, std::move(msg)};
+}
+Status data_loss(std::string msg) {
+  return {ErrorCode::kDataLoss, std::move(msg)};
 }
 
 }  // namespace griddles

@@ -31,6 +31,8 @@ enum class ErrorCode {
   kAborted,
   kUnimplemented,
   kInternal,
+  kDataLoss,       // payload verifiably wrong/incomplete: checksum
+                   // mismatch, truncated transfer, dead stream peer
 };
 
 /// Human-readable name for an error code ("NOT_FOUND", ...).
@@ -81,6 +83,7 @@ Status failed_precondition(std::string msg);
 Status aborted_error(std::string msg);
 Status unimplemented(std::string msg);
 Status internal_error(std::string msg);
+Status data_loss(std::string msg);
 
 /// Either a value of type T or an error Status. Never holds an OK status.
 template <typename T>

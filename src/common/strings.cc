@@ -1,5 +1,7 @@
 #include "src/common/strings.h"
 
+#include <string.h>  // strerror_r (POSIX declaration)
+
 #include <algorithm>
 #include <cctype>
 
@@ -116,6 +118,22 @@ std::string format_ms(long long seconds) {
   const long long m = seconds / 60;
   const long long s = seconds % 60;
   return two_digits(m) + ":" + two_digits(s);
+}
+
+namespace {
+// Disambiguates the two strerror_r flavours: glibc's GNU variant returns
+// the message pointer (possibly ignoring the buffer), the XSI variant
+// returns an int and always fills the buffer.
+const char* strerror_result(const char* returned, const char*) {
+  return returned;
+}
+const char* strerror_result(int, const char* buffer) { return buffer; }
+}  // namespace
+
+std::string errno_message(int errnum) {
+  char buffer[256] = {};
+  return strerror_result(::strerror_r(errnum, buffer, sizeof(buffer)),
+                         buffer);
 }
 
 }  // namespace griddles::strings

@@ -49,4 +49,8 @@ std::string format_hms(long long seconds);
 /// Formats "mm:ss" from whole seconds.
 std::string format_ms(long long seconds);
 
+/// Thread-safe strerror: message text for `errnum` (strerror_r under the
+/// hood, so concurrent IO error paths never share libc's static buffer).
+std::string errno_message(int errnum);
+
 }  // namespace griddles::strings

@@ -344,6 +344,11 @@ Result<std::size_t> FileMultiplexer::read(int fd, MutableByteSpan out) {
         it->second.span.read_wait_s += waited;
       }
     }
+  } else if (tracing && (got.status().code() == ErrorCode::kUnavailable ||
+                         got.status().code() == ErrorCode::kDataLoss)) {
+    MutexLock lock(mu_);
+    const auto it = files_.find(fd);
+    if (it != files_.end()) it->second.span.faults += 1;
   }
   return got;
 }
@@ -370,6 +375,12 @@ Result<std::size_t> FileMultiplexer::write(int fd, ByteSpan data) {
         it->second.span.bytes_written += *put;
       }
     }
+  } else if (obs::IoTracer::global().enabled() &&
+             (put.status().code() == ErrorCode::kUnavailable ||
+              put.status().code() == ErrorCode::kDataLoss)) {
+    MutexLock lock(mu_);
+    const auto it = files_.find(fd);
+    if (it != files_.end()) it->second.span.faults += 1;
   }
   return put;
 }

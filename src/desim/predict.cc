@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/strings.h"
+#include "src/obs/metrics.h"
 
 namespace griddles::desim {
 
@@ -92,9 +93,22 @@ std::vector<double> water_fill(const std::vector<double>& demands,
 
 }  // namespace
 
+void record_accuracy(double predicted_s, double actual_s) {
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& checked = registry.counter("desim.predictions.checked");
+  // Ratio buckets centered on 1.0: 2^-4 .. 2^5 covers 16x-off both ways.
+  static obs::Histogram& ratio = registry.histogram(
+      "desim.accuracy.ratio", obs::exponential_bounds(0.0625, 2.0, 10));
+  checked.add();
+  if (predicted_s > 0) ratio.observe(actual_s / predicted_s);
+}
+
 Result<Prediction> predict(
     const WorkflowSpec& spec,
     const workflow::WorkflowRunner::Options& options) {
+  static obs::Counter& predictions =
+      obs::MetricsRegistry::global().counter("desim.predictions");
+  predictions.add();
   GL_ASSIGN_OR_RETURN(const std::vector<Edge> edges,
                       workflow::infer_edges(spec));
   GL_ASSIGN_OR_RETURN(const std::vector<std::size_t> order,

@@ -27,6 +27,12 @@ struct Prediction {
 Result<Prediction> predict(const workflow::WorkflowSpec& spec,
                            const workflow::WorkflowRunner::Options& options);
 
+/// Records one predicted-vs-actual comparison into the metrics registry:
+/// bumps `desim.predictions.checked` and observes actual/predicted in the
+/// `desim.accuracy.ratio` histogram (1.0 = perfect). Call it after a real
+/// run whose spec/options were previously fed to predict().
+void record_accuracy(double predicted_s, double actual_s);
+
 /// Closed-form throughput of a Grid Buffer stream over a link
 /// (flusher-bounded request/response pipelining): bytes per second.
 double buffer_stream_bps(const testbed::LinkSpec& link,

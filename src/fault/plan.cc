@@ -1,0 +1,329 @@
+#include "src/fault/plan.h"
+
+#include <thread>
+
+#include "src/common/bytes.h"
+#include "src/common/strings.h"
+#include "src/obs/metrics.h"
+
+namespace griddles::fault {
+
+namespace {
+/// Process-wide injection accounting (handles cached once).
+struct FaultMetrics {
+  obs::Counter& drop;
+  obs::Counter& delay;
+  obs::Counter& crash;
+  obs::Counter& truncate;
+  obs::Counter& corrupt;
+  obs::Counter& peer_death;
+
+  static FaultMetrics& get() {
+    auto& registry = obs::MetricsRegistry::global();
+    static FaultMetrics metrics{
+        registry.counter("fault.injected.drop"),
+        registry.counter("fault.injected.delay"),
+        registry.counter("fault.injected.crash"),
+        registry.counter("fault.injected.truncate"),
+        registry.counter("fault.injected.corrupt"),
+        registry.counter("fault.injected.peer_death"),
+    };
+    return metrics;
+  }
+
+  obs::Counter& for_op(Op op) {
+    switch (op) {
+      case Op::kDrop: return drop;
+      case Op::kDelay: return delay;
+      case Op::kCrash: return crash;
+      case Op::kTruncate: return truncate;
+      case Op::kCorrupt: return corrupt;
+      case Op::kPeerDeath: return peer_death;
+    }
+    return drop;
+  }
+};
+
+// The armed plan: a shared_ptr keeps it alive, a raw atomic pointer makes
+// the "is anything armed?" question one relaxed load.
+Mutex g_arm_mu;
+std::shared_ptr<Plan> g_armed_owner GUARDED_BY(g_arm_mu);
+std::atomic<Plan*> g_armed{nullptr};
+}  // namespace
+
+std::string_view op_name(Op op) noexcept {
+  switch (op) {
+    case Op::kDrop: return "drop";
+    case Op::kDelay: return "delay";
+    case Op::kCrash: return "crash";
+    case Op::kTruncate: return "truncate";
+    case Op::kCorrupt: return "corrupt";
+    case Op::kPeerDeath: return "die";
+  }
+  return "?";
+}
+
+std::string_view site_name(Site site) noexcept {
+  switch (site) {
+    case Site::kRpc: return "rpc";
+    case Site::kLink: return "link";
+    case Site::kCopy: return "copy";
+    case Site::kPeer: return "peer";
+  }
+  return "?";
+}
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                  std::uint64_t d) noexcept {
+  // splitmix64 finalizer over a running combination of the inputs.
+  std::uint64_t z = a;
+  for (const std::uint64_t v : {b, c, d}) {
+    z += 0x9e3779b97f4a7c15ULL + v;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+  }
+  return z;
+}
+
+namespace {
+std::uint64_t hash_text(std::string_view text) {
+  return fnv1a(as_bytes_view(text));
+}
+
+Result<Op> parse_op(std::string_view name) {
+  if (name == "drop") return Op::kDrop;
+  if (name == "delay") return Op::kDelay;
+  if (name == "crash") return Op::kCrash;
+  if (name == "truncate") return Op::kTruncate;
+  if (name == "corrupt") return Op::kCorrupt;
+  if (name == "die") return Op::kPeerDeath;
+  return invalid_argument(strings::cat("fault spec: unknown op '", name,
+                                       "'"));
+}
+
+Result<Site> parse_site(std::string_view name) {
+  if (name == "rpc") return Site::kRpc;
+  if (name == "link") return Site::kLink;
+  if (name == "copy") return Site::kCopy;
+  if (name == "peer") return Site::kPeer;
+  if (name == "host") return Site::kRpc;  // crash@host keys on RPC dst
+  return invalid_argument(strings::cat("fault spec: unknown site '", name,
+                                       "'"));
+}
+
+Status apply_param(Rule& rule, std::string_view key, std::string_view value) {
+  const auto number = strings::parse_double(value);
+  if (!number) {
+    return invalid_argument(strings::cat("fault spec: bad value '", value,
+                                         "' for ", key));
+  }
+  if (key == "p") {
+    if (*number < 0 || *number > 1) {
+      return invalid_argument("fault spec: p must be in [0,1]");
+    }
+    rule.probability = *number;
+  } else if (key == "nth") {
+    rule.nth = static_cast<std::uint64_t>(*number);
+  } else if (key == "count") {
+    rule.max_fires = static_cast<std::uint64_t>(*number);
+  } else if (key == "at") {
+    rule.at_s = *number;
+  } else if (key == "add") {
+    rule.delay_s = *number;
+  } else if (key == "after") {
+    rule.after_bytes = static_cast<std::uint64_t>(*number);
+  } else {
+    return invalid_argument(strings::cat("fault spec: unknown param '", key,
+                                         "'"));
+  }
+  return Status::ok();
+}
+}  // namespace
+
+Result<std::shared_ptr<Plan>> Plan::parse(const std::string& spec) {
+  std::uint64_t seed = 1;
+  std::vector<Rule> rules;
+  for (const std::string& raw : strings::split(spec, ';')) {
+    const std::string segment(strings::trim(raw));
+    if (segment.empty()) continue;
+    if (strings::starts_with(segment, "seed=")) {
+      const auto parsed = strings::parse_int(segment.substr(5));
+      if (!parsed || *parsed < 0) {
+        return invalid_argument(
+            strings::cat("fault spec: bad seed in '", segment, "'"));
+      }
+      seed = static_cast<std::uint64_t>(*parsed);
+      continue;
+    }
+
+    const std::size_t at = segment.find('@');
+    const std::size_t head_end = segment.find(':');
+    if (at == std::string::npos || head_end == std::string::npos ||
+        at > head_end) {
+      return invalid_argument(strings::cat(
+          "fault spec: '", segment, "' is not <op>@<site>:<key>[:params]"));
+    }
+    Rule rule;
+    GL_ASSIGN_OR_RETURN(rule.op, parse_op(segment.substr(0, at)));
+    GL_ASSIGN_OR_RETURN(
+        rule.site, parse_site(segment.substr(at + 1, head_end - at - 1)));
+
+    // The tail after the last ':' is a param list; everything between
+    // is the key glob (which may itself hold ':'). A trailing segment
+    // with no '=' is malformed — accepting it as part of the glob
+    // would silently swallow a mistyped param like ':p' for ':p=0.5'.
+    std::string rest = segment.substr(head_end + 1);
+    std::string params;
+    const std::size_t last = rest.rfind(':');
+    if (last != std::string::npos) {
+      if (rest.find('=', last) == std::string::npos) {
+        return invalid_argument(strings::cat(
+            "fault spec: trailing ':", rest.substr(last + 1), "' in '",
+            segment, "' is not a <param>=<value> list"));
+      }
+      params = rest.substr(last + 1);
+      rest = rest.substr(0, last);
+    }
+    rule.key_glob = rest;
+    if (rule.key_glob.empty()) {
+      return invalid_argument(
+          strings::cat("fault spec: '", segment, "' has an empty key"));
+    }
+    // Payload mutations default to firing once so a retried transfer
+    // can complete; override with count=.
+    if (rule.op == Op::kTruncate || rule.op == Op::kCorrupt ||
+        rule.op == Op::kPeerDeath) {
+      rule.max_fires = 1;
+    }
+    if (!params.empty()) {
+      for (const std::string& pair : strings::split(params, ',')) {
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos) {
+          return invalid_argument(
+              strings::cat("fault spec: bad param '", pair, "'"));
+        }
+        GL_RETURN_IF_ERROR(apply_param(rule, strings::trim(
+                                                 pair.substr(0, eq)),
+                                       strings::trim(pair.substr(eq + 1))));
+      }
+    }
+    rules.push_back(std::move(rule));
+  }
+  return std::make_shared<Plan>(seed, std::move(rules));
+}
+
+Plan::Plan(std::uint64_t seed, std::vector<Rule> rules)
+    : seed_(seed), rules_(std::move(rules)) {
+  MutexLock lock(mu_);
+  state_.resize(rules_.size());
+}
+
+Decision Plan::consult(Site site, std::string_view key,
+                       std::uint64_t bytes) {
+  Decision decision;
+  const Clock* clock = clock_.load(std::memory_order_acquire);
+  MutexLock lock(mu_);
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    const Rule& rule = rules_[r];
+    if (rule.site != site) continue;
+    if (!strings::glob_match(rule.key_glob, key)) continue;
+
+    auto state_it = state_[r].find(key);
+    if (state_it == state_[r].end()) {
+      state_it = state_[r].emplace(std::string(key), KeyState{}).first;
+    }
+    KeyState& state = state_it->second;
+    const std::uint64_t event = ++state.events;
+    if (state.fires >= rule.max_fires) continue;
+
+    bool fires;
+    switch (rule.op) {
+      case Op::kCrash:
+        // Permanent from `at=` on; without a clock, from time zero.
+        fires = clock == nullptr ||
+                to_seconds_d(clock->now()) >= rule.at_s;
+        break;
+      case Op::kPeerDeath:
+        fires = bytes >= rule.after_bytes;
+        break;
+      default:
+        if (rule.nth != 0) {
+          fires = event == rule.nth;
+        } else if (rule.probability >= 1.0) {
+          fires = true;
+        } else {
+          // Deterministic per-event coin: depends only on (seed, rule,
+          // key, event ordinal), never on wall time or thread order.
+          const std::uint64_t h =
+              mix(seed_, r, hash_text(key), event);
+          fires = static_cast<double>(h >> 11) * 0x1.0p-53 <
+                  rule.probability;
+        }
+        break;
+    }
+    if (!fires) continue;
+
+    // Crash state is permanent, so don't count it against max_fires —
+    // every call to a dead host must keep failing.
+    if (rule.op != Op::kCrash) ++state.fires;
+    FaultMetrics::get().for_op(rule.op).add();
+    log_.push_back(strings::cat(op_name(rule.op), "@", site_name(site), ":",
+                                key, " #", event));
+
+    switch (rule.op) {
+      case Op::kDrop:
+      case Op::kCrash:
+        decision.action = Decision::Action::kFail;
+        return decision;
+      case Op::kDelay:
+        decision.action = Decision::Action::kDelay;
+        decision.delay = from_seconds_d(rule.delay_s);
+        return decision;
+      case Op::kTruncate:
+        decision.action = Decision::Action::kTruncate;
+        return decision;
+      case Op::kCorrupt:
+        decision.action = Decision::Action::kCorrupt;
+        return decision;
+      case Op::kPeerDeath:
+        decision.action = Decision::Action::kKill;
+        return decision;
+    }
+  }
+  return decision;
+}
+
+std::vector<std::string> Plan::injection_log() const {
+  MutexLock lock(mu_);
+  return log_;
+}
+
+std::uint64_t Plan::injection_count() const {
+  MutexLock lock(mu_);
+  return log_.size();
+}
+
+void arm(std::shared_ptr<Plan> plan, const Clock* clock) {
+  MutexLock lock(g_arm_mu);
+  if (plan) plan->set_clock(clock);
+  g_armed.store(plan.get(), std::memory_order_release);
+  g_armed_owner = std::move(plan);
+}
+
+void disarm() { arm(nullptr); }
+
+Plan* armed() noexcept {
+  return g_armed.load(std::memory_order_relaxed);
+}
+
+void sleep_for_model(Duration model) {
+  const Plan* plan = armed();
+  const Clock* clock = plan != nullptr ? plan->clock() : nullptr;
+  const double scale =
+      clock != nullptr ? clock->wall_seconds_per_model_second() : 1.0;
+  const Duration wall = from_seconds_d(to_seconds_d(model) * scale);
+  if (wall > Duration::zero()) std::this_thread::sleep_for(wall);
+}
+
+}  // namespace griddles::fault

@@ -1,0 +1,166 @@
+// Deterministic fault injection (see DESIGN.md §7).
+//
+// A fault::Plan is a set of declarative rules parsed from a compact spec
+// string (`workflow_cli --faults=...`). Layers that talk to the modelled
+// network consult the armed plan at well-defined sites — one RPC about to
+// leave a client, one message being priced by a LinkShaper, one copy
+// chunk arriving, one Grid Buffer block being stored — and the plan
+// answers "inject nothing / fail this / delay this / mutate this".
+//
+// Every answer is a pure function of (seed, rule, site key, occurrence
+// count), so the same spec and seed replay the identical fault schedule
+// run after run regardless of thread interleaving: the n-th write into
+// channel C, or the n-th RPC from host A to host B, always gets the same
+// decision. That is what makes recovery testable (tests assert the same
+// outputs with and without the plan armed) and fault schedules shareable
+// as one-line strings.
+//
+// When no plan is armed the hooks cost one relaxed atomic load — the
+// bench acceptance criterion for shipping the hooks compiled in.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/common/thread_annotations.h"
+
+namespace griddles::fault {
+
+/// What a rule does when it fires.
+enum class Op : std::uint8_t {
+  kDrop,      // fail the operation with kUnavailable (retryable)
+  kDelay,     // add latency, then proceed
+  kCrash,     // host is dead from `at=` onward: every RPC to it fails
+  kTruncate,  // deliver a short copy chunk (detected, chunk is resent)
+  kCorrupt,   // flip bits in a copy chunk (caught by the checksum pass)
+  kPeerDeath, // Grid Buffer writer dies once the channel passes `after=`
+};
+
+std::string_view op_name(Op op) noexcept;
+
+/// Where a hook sits. The site picks the key vocabulary:
+///   kRpc  — "src>dst" host pair of a client call
+///   kLink — "src>dst" host pair of a modelled link message
+///   kCopy — remote path of a staged-copy chunk
+///   kPeer — Grid Buffer channel name
+enum class Site : std::uint8_t { kRpc, kLink, kCopy, kPeer };
+
+std::string_view site_name(Site site) noexcept;
+
+/// One parsed rule, e.g. `drop@rpc:*>dione:p=0.5,count=2`.
+struct Rule {
+  Op op = Op::kDrop;
+  Site site = Site::kRpc;
+  std::string key_glob;  // matched against the consult key ('*'/'?')
+
+  /// Firing discipline: `nth=` fires exactly on the n-th matching event
+  /// (1-based) per key; otherwise each matching event fires with
+  /// probability `p=` (seeded, per-event deterministic). Either way at
+  /// most `count=` firings happen per key (truncate/corrupt default to a
+  /// single firing so a retried transfer can succeed).
+  double probability = 1.0;
+  std::uint64_t nth = 0;
+  std::uint64_t max_fires = std::numeric_limits<std::uint64_t>::max();
+
+  double at_s = 0;            // crash: model time the host dies
+  double delay_s = 0;         // delay: extra seconds to add
+  std::uint64_t after_bytes = 0;  // peer death: channel high-water mark
+};
+
+/// A consult verdict.
+struct Decision {
+  enum class Action : std::uint8_t {
+    kNone,
+    kFail,      // drop/crash: fail with kUnavailable
+    kDelay,     // proceed after `delay`
+    kTruncate,  // deliver short data
+    kCorrupt,   // deliver mutated data
+    kKill,      // peer death: fail the channel permanently (kDataLoss)
+  };
+  Action action = Action::kNone;
+  Duration delay = Duration::zero();
+
+  explicit operator bool() const noexcept {
+    return action != Action::kNone;
+  }
+};
+
+/// A parsed, immutable-by-rules fault plan with per-key occurrence state.
+class Plan {
+ public:
+  /// Parses `spec`: `;`-separated segments, the first optionally
+  /// `seed=<n>`, the rest `<op>@<site>:<key-glob>[:<k>=<v>,...]`.
+  /// Grammar details in README "Fault injection".
+  static Result<std::shared_ptr<Plan>> parse(const std::string& spec);
+
+  Plan(std::uint64_t seed, std::vector<Rule> rules);
+
+  std::uint64_t seed() const noexcept { return seed_; }
+  const std::vector<Rule>& rules() const noexcept { return rules_; }
+
+  /// The hook entry point: the `index`-th event with `key` at `site` just
+  /// happened (`bytes` is the channel high-water mark for kPeer, unused
+  /// elsewhere). Returns the injected action, records it in the injection
+  /// log, and bumps `fault.injected.*`.
+  Decision consult(Site site, std::string_view key, std::uint64_t bytes = 0);
+
+  /// Model clock for `crash ... at=` rules; set when the plan is armed
+  /// next to a testbed. Null means crash rules apply from time zero.
+  void set_clock(const Clock* clock) noexcept {
+    clock_.store(clock, std::memory_order_release);
+  }
+  const Clock* clock() const noexcept {
+    return clock_.load(std::memory_order_acquire);
+  }
+
+  /// Every firing so far, one line per injection ("drop@rpc:a>b #3") —
+  /// the byte-identical replay artifact the golden test compares.
+  std::vector<std::string> injection_log() const;
+  std::uint64_t injection_count() const;
+
+ private:
+  struct KeyState {
+    std::uint64_t events = 0;  // consults that matched this (rule, key)
+    std::uint64_t fires = 0;
+  };
+
+  const std::uint64_t seed_;
+  const std::vector<Rule> rules_;
+  std::atomic<const Clock*> clock_{nullptr};
+
+  mutable Mutex mu_;
+  // (rule index, key) -> occurrence counts.
+  std::vector<std::map<std::string, KeyState, std::less<>>> state_
+      GUARDED_BY(mu_);
+  std::vector<std::string> log_ GUARDED_BY(mu_);
+};
+
+/// Arms `plan` process-wide (null disarms). `clock` lets model-time rules
+/// (crash at=) see testbed time. The previous plan, if any, is released.
+void arm(std::shared_ptr<Plan> plan, const Clock* clock = nullptr);
+void disarm();
+
+/// The armed plan, or null. One relaxed atomic load — THE fast path; the
+/// pointer stays valid until the next arm()/disarm(), so callers must not
+/// stash it across operations.
+Plan* armed() noexcept;
+
+/// Shared deterministic mixing (splitmix64-style); retry jitter uses it
+/// too so backoff schedules replay with the plan.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                  std::uint64_t d) noexcept;
+
+/// Sleeps `model` model-seconds of injected delay/backoff, scaled to wall
+/// time by the armed plan's clock (1:1 when none is set). Used by the
+/// hooks so injected latency shrinks with the testbed's time scale.
+void sleep_for_model(Duration model);
+
+}  // namespace griddles::fault

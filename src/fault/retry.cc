@@ -1,0 +1,30 @@
+#include "src/fault/retry.h"
+
+#include "src/fault/plan.h"
+#include "src/obs/metrics.h"
+
+namespace griddles::fault {
+
+Duration RetryPolicy::backoff(int attempt, std::uint64_t jitter_key) const {
+  double seconds = to_seconds_d(initial_backoff);
+  for (int i = 1; i < attempt; ++i) seconds *= multiplier;
+  const double cap = to_seconds_d(max_backoff);
+  if (seconds > cap) seconds = cap;
+
+  const Plan* plan = armed();
+  const std::uint64_t seed = plan != nullptr ? plan->seed() : 0;
+  const std::uint64_t h =
+      mix(seed, jitter_key, static_cast<std::uint64_t>(attempt), 0x7e7247ULL);
+  // Map to [0.5, 1.0): full-jitter halves thundering herds while keeping
+  // the schedule a pure function of (seed, key, attempt).
+  const double factor = 0.5 + static_cast<double>(h >> 11) * 0x1.0p-54;
+  return from_seconds_d(seconds * factor);
+}
+
+void note_retry_attempt() {
+  static obs::Counter& attempts =
+      obs::MetricsRegistry::global().counter("retry.attempts");
+  attempts.add();
+}
+
+}  // namespace griddles::fault

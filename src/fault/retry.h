@@ -1,0 +1,47 @@
+// Shared retry discipline for fault-tolerant layers (RPC, staged copies).
+//
+// Backoff jitter comes from the armed plan's PRNG via fault::mix — never
+// from wall time — so a retried schedule replays exactly alongside the
+// fault schedule that triggered it.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+
+namespace griddles::fault {
+
+/// Capped exponential backoff with a deadline and deterministic jitter.
+struct RetryPolicy {
+  int max_attempts = 4;
+  Duration initial_backoff = from_seconds_d(0.002);
+  double multiplier = 2.0;
+  Duration max_backoff = from_seconds_d(0.050);
+  /// Total budget across attempts; Duration::zero() means unbounded.
+  Duration deadline = Duration::zero();
+
+  /// Transient codes worth retrying. kDataLoss is deliberately excluded:
+  /// a verifiably-wrong payload needs a different source (failover or
+  /// stage re-run), not the same request again.
+  static bool retryable(ErrorCode code) noexcept {
+    return code == ErrorCode::kUnavailable || code == ErrorCode::kTimeout;
+  }
+
+  /// Backoff before attempt `attempt` (1-based: the wait after the
+  /// attempt-th failure). Exponential, capped, scaled by a jitter factor
+  /// in [0.5, 1.0) derived from mix(plan seed, jitter_key, attempt) — a
+  /// pure function, so replays are byte-identical.
+  Duration backoff(int attempt, std::uint64_t jitter_key) const;
+
+  /// True while `elapsed` leaves room for another attempt.
+  bool within_deadline(Duration elapsed) const noexcept {
+    return deadline == Duration::zero() || elapsed < deadline;
+  }
+};
+
+/// Bumps the process-wide `retry.attempts` counter (call once per retry,
+/// i.e. per attempt after the first).
+void note_retry_attempt();
+
+}  // namespace griddles::fault

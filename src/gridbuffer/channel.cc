@@ -10,6 +10,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/fault/plan.h"
 #include "src/obs/metrics.h"
 
 namespace griddles::gridbuffer {
@@ -108,7 +109,7 @@ Status Channel::cache_write_locked(std::uint64_t offset, ByteSpan data) {
                        0644);
     if (cache_fd_ < 0) {
       return io_error(strings::cat("grid buffer cache ", cache_path_, ": ",
-                                   std::strerror(errno)));
+                                   strings::errno_message(errno)));
     }
   }
   std::size_t put = 0;
@@ -119,7 +120,7 @@ Status Channel::cache_write_locked(std::uint64_t offset, ByteSpan data) {
     if (n < 0) {
       if (errno == EINTR) continue;
       return io_error(strings::cat("grid buffer cache write: ",
-                                   std::strerror(errno)));
+                                   strings::errno_message(errno)));
     }
     put += static_cast<std::size_t>(n);
   }
@@ -140,7 +141,7 @@ Result<Bytes> Channel::cache_read_locked(std::uint64_t offset,
     if (n < 0) {
       if (errno == EINTR) continue;
       return io_error(strings::cat("grid buffer cache read: ",
-                                   std::strerror(errno)));
+                                   strings::errno_message(errno)));
     }
     if (n == 0) break;
     got += static_cast<std::size_t>(n);
@@ -152,6 +153,10 @@ Result<Bytes> Channel::cache_read_locked(std::uint64_t offset,
 Status Channel::write(std::uint64_t offset, ByteSpan data) {
   MutexLock lock(mu_);
   if (shutdown_) return aborted_error("grid buffer shutting down");
+  if (writer_failed_) {
+    return data_loss(
+        strings::cat("channel ", name_, ": writer died mid-stream"));
+  }
   if (writer_closed_) {
     return failed_precondition(
         strings::cat("channel ", name_, ": writer already closed"));
@@ -161,6 +166,22 @@ Status Channel::write(std::uint64_t offset, ByteSpan data) {
   }
   if (data.size() > config_.block_size) {
     return invalid_argument("grid buffer write larger than block size");
+  }
+  // Injected peer death: the producer "dies" once the stream frontier
+  // would pass the rule's `after=` mark. The block is NOT stored — the
+  // reader can drain only what a real dead writer had already flushed.
+  if (fault::Plan* plan = fault::armed(); plan != nullptr) {
+    const std::uint64_t would_be =
+        std::max(frontier_, offset + data.size());
+    const fault::Decision verdict =
+        plan->consult(fault::Site::kPeer, name_, would_be);
+    if (verdict.action == fault::Decision::Action::kKill) {
+      writer_failed_ = true;
+      lock.unlock();
+      cv_.notify_all();
+      return data_loss(strings::cat("injected fault: channel ", name_,
+                                    " writer died at frontier ", frontier_));
+    }
   }
 
   // Backpressure / spill when the table is at capacity.
@@ -233,6 +254,20 @@ void Channel::close_writer() {
 bool Channel::writer_closed() const {
   MutexLock lock(mu_);
   return writer_closed_;
+}
+
+void Channel::fail_writer(const std::string& reason) {
+  {
+    MutexLock lock(mu_);
+    writer_failed_ = true;
+    GL_LOG(kDebug, "channel ", name_, ": writer failed: ", reason);
+  }
+  cv_.notify_all();
+}
+
+bool Channel::writer_failed() const {
+  MutexLock lock(mu_);
+  return writer_failed_;
 }
 
 Result<ReadResult> Channel::read(std::uint64_t reader_id,
@@ -314,6 +349,17 @@ Result<ReadResult> Channel::read(std::uint64_t reader_id,
       return result;
     }
 
+    // Drained everything a dead writer produced: surface the loss rather
+    // than blocking for data that will never arrive. (Covered offsets
+    // above still serve normally — that is the cache-drain recovery.)
+    // Checked before the EOF branch: a failed writer's teardown may still
+    // send a clean close, which must not turn truncation into EOF.
+    if (writer_failed_) {
+      return data_loss(strings::cat("channel ", name_,
+                                    ": writer died; stream ends at ",
+                                    frontier_, ", read at ", offset));
+    }
+
     if (offset >= frontier_) {
       if (writer_closed_) {
         return ReadResult{{}, true, frontier_};
@@ -370,7 +416,7 @@ Result<ReadResult> Channel::stat(bool wait_for_eof,
       WallClock::now() + std::chrono::milliseconds(
                              deadline_ms == 0 ? 0 : deadline_ms);
   MutexLock lock(mu_);
-  while (wait_for_eof && !writer_closed_ && !shutdown_) {
+  while (wait_for_eof && !writer_closed_ && !writer_failed_ && !shutdown_) {
     if (deadline_ms == 0) {
       cv_.wait(mu_);
     } else if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
@@ -379,6 +425,10 @@ Result<ReadResult> Channel::stat(bool wait_for_eof,
     }
   }
   if (shutdown_) return aborted_error("grid buffer shutting down");
+  if (writer_failed_) {
+    return data_loss(
+        strings::cat("channel ", name_, ": writer died mid-stream"));
+  }
   return ReadResult{{}, writer_closed_, frontier_};
 }
 

@@ -66,6 +66,13 @@ class Channel {
   void close_writer();
   bool writer_closed() const;
 
+  /// Marks the writer as dead mid-stream (injected peer death or a real
+  /// producer crash): further writes fail with kDataLoss, and readers may
+  /// drain everything already written — table and cache — before reads
+  /// past the frontier fail with kDataLoss instead of blocking.
+  void fail_writer(const std::string& reason);
+  bool writer_failed() const;
+
   /// Reads up to `length` bytes at `offset` for `reader_id`, blocking
   /// until data exists, the writer closes (eof), `deadline_ms` wall
   /// milliseconds elapse (kTimeout; 0 = wait forever), or shutdown().
@@ -119,6 +126,7 @@ class Channel {
   std::uint64_t evicted_upto_ GUARDED_BY(mu_) = 0;  // eviction resume point
   std::uint64_t frontier_ GUARDED_BY(mu_) = 0;
   bool writer_closed_ GUARDED_BY(mu_) = false;
+  bool writer_failed_ GUARDED_BY(mu_) = false;
   bool shutdown_ GUARDED_BY(mu_) = false;
 
   std::map<std::uint64_t, Reader> readers_ GUARDED_BY(mu_);

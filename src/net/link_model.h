@@ -15,6 +15,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/thread_annotations.h"
+#include "src/fault/plan.h"
 #include "src/obs/metrics.h"
 
 namespace griddles::net {
@@ -71,7 +72,7 @@ class LinkShaper {
   LinkShaper(const LinkTable& table, std::string src, std::string dst)
       : model_(table.lookup(src, dst)), table_(&table),
         src_(std::move(src)), dst_(std::move(dst)),
-        seen_version_(table.version()) {}
+        fault_key_(src_ + ">" + dst_), seen_version_(table.version()) {}
 
   /// Returns the model time at which a message of `bytes` sent at
   /// `send_time` arrives, accounting for messages already in flight.
@@ -87,7 +88,18 @@ class LinkShaper {
     const Duration depart = std::max(send_time, link_free_at_);
     const Duration transmit = model_.transmit_time(bytes);
     link_free_at_ = depart + transmit;
-    const Duration arrival = link_free_at_ + model_.latency;
+    Duration arrival = link_free_at_ + model_.latency;
+    // Injected link weather: delay@link adds propagation time without
+    // occupying the link (loss is modelled as drop@rpc instead, since a
+    // reliable transport cannot un-deliver a message).
+    if (fault::Plan* plan = fault::armed();
+        plan != nullptr && !fault_key_.empty()) {
+      const fault::Decision verdict =
+          plan->consult(fault::Site::kLink, fault_key_, bytes);
+      if (verdict.action == fault::Decision::Action::kDelay) {
+        arrival += verdict.delay;
+      }
+    }
     // Modelled delivery delay (queueing + transmit + propagation).
     auto& registry = obs::MetricsRegistry::global();
     static obs::Histogram& delay_s = registry.histogram(
@@ -109,6 +121,7 @@ class LinkShaper {
   const LinkTable* table_ = nullptr;
   std::string src_;
   std::string dst_;
+  std::string fault_key_;  // "src>dst"; empty for table-less shapers
   std::uint64_t seen_version_ GUARDED_BY(mu_) = 0;
   Duration link_free_at_ GUARDED_BY(mu_){0};
 };

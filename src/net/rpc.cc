@@ -2,6 +2,8 @@
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/fault/plan.h"
+#include "src/fault/retry.h"
 #include "src/obs/metrics.h"
 #include "src/xdr/codec.h"
 
@@ -205,7 +207,8 @@ void RpcServer::serve_connection(std::shared_ptr<Connection> conn) {
 }
 
 RpcClient::RpcClient(Transport& transport, Endpoint server, WireFormat format)
-    : transport_(transport), server_(std::move(server)), format_(format) {}
+    : transport_(transport), server_(std::move(server)), format_(format),
+      fault_key_(strings::cat(transport.local_host(), ">", server_.host)) {}
 
 RpcClient::~RpcClient() {
   MutexLock lock(mu_);
@@ -242,6 +245,45 @@ Result<Bytes> RpcClient::call_until(std::uint16_t method, ByteSpan request,
 Result<Bytes> RpcClient::call_impl(std::uint16_t method, ByteSpan request,
                                    const WallClock::time_point* deadline) {
   MutexLock lock(mu_);
+  if (fault::armed() == nullptr) return call_once(method, request, deadline);
+
+  // Fault-tolerant path: consult the armed plan before each attempt and
+  // retry transient failures (injected or organic) with deterministic
+  // backoff. Injected drops fail *before* any bytes leave the client, so
+  // a retried request is never a duplicate on the server.
+  const fault::RetryPolicy policy;
+  const std::uint64_t key_hash = fnv1a(as_bytes_view(fault_key_));
+  for (int attempt = 1;; ++attempt) {
+    Result<Bytes> result = unavailable("rpc: no attempt made");
+    fault::Plan* plan = fault::armed();
+    fault::Decision decision;
+    if (plan != nullptr) {
+      decision = plan->consult(fault::Site::kRpc, fault_key_);
+    }
+    if (decision.action == fault::Decision::Action::kFail) {
+      result = unavailable(strings::cat("injected fault: rpc ", fault_key_));
+    } else {
+      if (decision.action == fault::Decision::Action::kDelay) {
+        fault::sleep_for_model(decision.delay);
+      }
+      result = call_once(method, request, deadline);
+    }
+    if (result.is_ok()) return result;
+
+    // kTimeout only arises under a caller deadline, which retrying would
+    // overrun — surface it. Everything else follows the shared policy.
+    const ErrorCode code = result.status().code();
+    if (!fault::RetryPolicy::retryable(code) ||
+        code == ErrorCode::kTimeout || attempt >= policy.max_attempts) {
+      return result;
+    }
+    fault::note_retry_attempt();
+    fault::sleep_for_model(policy.backoff(attempt, key_hash));
+  }
+}
+
+Result<Bytes> RpcClient::call_once(std::uint16_t method, ByteSpan request,
+                                   const WallClock::time_point* deadline) {
   for (int attempt = 0; attempt < 2; ++attempt) {
     GL_RETURN_IF_ERROR(ensure_connected());
 

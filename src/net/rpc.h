@@ -105,11 +105,14 @@ class RpcClient {
  private:
   Result<Bytes> call_impl(std::uint16_t method, ByteSpan request,
                           const WallClock::time_point* deadline);
+  Result<Bytes> call_once(std::uint16_t method, ByteSpan request,
+                          const WallClock::time_point* deadline) REQUIRES(mu_);
   Status ensure_connected() REQUIRES(mu_);
 
   Transport& transport_;
   Endpoint server_;
   WireFormat format_;
+  std::string fault_key_;  // "src>dst" host pair for fault-plan consults
   Mutex mu_;
   std::unique_ptr<Connection> conn_ GUARDED_BY(mu_);
   std::uint64_t next_id_ GUARDED_BY(mu_) = 1;

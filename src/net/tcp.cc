@@ -18,7 +18,7 @@ namespace griddles::net {
 namespace {
 
 Status errno_status(const char* what) {
-  return io_error(strings::cat(what, ": ", std::strerror(errno)));
+  return io_error(strings::cat(what, ": ", strings::errno_message(errno)));
 }
 
 /// RAII file descriptor.
@@ -244,7 +244,7 @@ Result<std::unique_ptr<Connection>> TcpTransport::connect(
   if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     return unavailable(strings::cat("connect ", remote.to_string(), ": ",
-                                    std::strerror(errno)));
+                                    strings::errno_message(errno)));
   }
   return std::unique_ptr<Connection>(
       std::make_unique<TcpConnection>(std::move(fd), remote.to_string()));

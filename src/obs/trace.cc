@@ -27,6 +27,8 @@ std::string to_json_line(const IoSpan& span) {
   out += std::to_string(span.seeks);
   out += ",\"read_wait_s\":";
   out += json_number(span.read_wait_s);
+  out += ",\"faults\":";
+  out += std::to_string(span.faults);
   out.push_back('}');
   return out;
 }

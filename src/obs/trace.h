@@ -32,6 +32,9 @@ struct IoSpan {
   std::uint64_t writes = 0;
   std::uint64_t seeks = 0;
   double read_wait_s = 0;  // wall seconds blocked inside read calls
+  /// Reads/writes on this descriptor that surfaced a fault-class Status
+  /// (kUnavailable or kDataLoss) — injected or real.
+  std::uint64_t faults = 0;
 };
 
 /// Serializes one span as a single JSON object line (no trailing \n).

@@ -10,7 +10,10 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/bytes.h"
 #include "src/common/strings.h"
+#include "src/fault/plan.h"
+#include "src/fault/retry.h"
 #include "src/net/rpc.h"
 #include "src/obs/metrics.h"
 #include "src/remote/protocol.h"
@@ -21,7 +24,8 @@ namespace griddles::remote {
 
 namespace {
 Status errno_status(const char* op, const std::string& path) {
-  return io_error(strings::cat(op, " ", path, ": ", std::strerror(errno)));
+  return io_error(
+      strings::cat(op, " ", path, ": ", strings::errno_message(errno)));
 }
 
 /// Actual whole-file copy cost; the advisor's predictions live under
@@ -47,6 +51,87 @@ Result<std::uint64_t> remote_size(net::RpcClient& rpc,
   if (!exists) return not_found(strings::cat("remote file missing: ", path));
   return size;
 }
+
+/// Applies any injected copy-site fault to a chunk in flight. Truncation
+/// is caught right away by the length check; corruption survives until
+/// the whole-file checksum pass. Returns non-OK only for drop-style
+/// injections that should fail the chunk outright.
+Status apply_copy_fault(const std::string& remote_path, Bytes& data) {
+  fault::Plan* plan = fault::armed();
+  if (plan == nullptr) return Status::ok();
+  const fault::Decision verdict =
+      plan->consult(fault::Site::kCopy, remote_path, data.size());
+  switch (verdict.action) {
+    case fault::Decision::Action::kNone:
+      return Status::ok();
+    case fault::Decision::Action::kDelay:
+      fault::sleep_for_model(verdict.delay);
+      return Status::ok();
+    case fault::Decision::Action::kTruncate:
+      data.resize(data.size() / 2);
+      return Status::ok();
+    case fault::Decision::Action::kCorrupt:
+      if (!data.empty()) data[0] ^= std::byte{0xff};
+      return Status::ok();
+    case fault::Decision::Action::kFail:
+    case fault::Decision::Action::kKill:
+      return unavailable(
+          strings::cat("injected fault: copy ", remote_path));
+  }
+  return Status::ok();
+}
+
+/// A chunk failure worth re-requesting at the same offset: transient
+/// transport trouble, or a verifiably short/mangled delivery.
+bool chunk_retryable(ErrorCode code) {
+  return fault::RetryPolicy::retryable(code) ||
+         code == ErrorCode::kDataLoss;
+}
+
+/// Streaming FNV-1a of a local file (matches the server's kChecksum).
+Result<std::uint64_t> local_checksum(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return errno_status("open", path);
+  std::uint64_t hash = kFnv1aSeed;
+  Bytes buffer(1u << 20);
+  while (true) {
+    const ssize_t n = ::read(fd, buffer.data(), buffer.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return errno_status("read", path);
+    }
+    if (n == 0) break;
+    hash = fnv1a_update(hash, {buffer.data(), static_cast<std::size_t>(n)});
+  }
+  ::close(fd);
+  return hash;
+}
+
+/// Compares the local copy against the server's checksum; kDataLoss on
+/// any divergence. Only run while a fault plan is armed, keeping the
+/// fault-free path free of the extra read-back.
+Status verify_transfer(net::RpcClient& rpc, const std::string& remote_path,
+                       const std::string& local_path) {
+  xdr::Encoder enc;
+  enc.put_string(remote_path);
+  GL_ASSIGN_OR_RETURN(const Bytes reply,
+                      rpc.call(method_id(Method::kChecksum), enc.buffer()));
+  xdr::Decoder dec(reply);
+  GL_ASSIGN_OR_RETURN(const std::uint64_t remote_hash, dec.u64());
+  GL_ASSIGN_OR_RETURN(const std::uint64_t remote_bytes, dec.u64());
+  GL_ASSIGN_OR_RETURN(const std::uint64_t local_bytes,
+                      vfs::file_size(local_path));
+  GL_ASSIGN_OR_RETURN(const std::uint64_t local_hash,
+                      local_checksum(local_path));
+  if (local_bytes != remote_bytes || local_hash != remote_hash) {
+    return data_loss(strings::cat(
+        "copy verification failed for ", remote_path, ": local ",
+        local_bytes, "B/", local_hash, " vs remote ", remote_bytes, "B/",
+        remote_hash));
+  }
+  return Status::ok();
+}
 }  // namespace
 
 FileCopier::FileCopier(net::Transport& transport, Clock& clock,
@@ -57,6 +142,32 @@ Result<CopyStats> FileCopier::fetch(const net::Endpoint& server,
                                     const std::string& remote_path,
                                     const std::string& local_path) {
   const Duration start = clock_.now();
+  const fault::RetryPolicy policy;
+  const std::uint64_t jitter_key = fnv1a(as_bytes_view(remote_path));
+  std::uint64_t bytes = 0;
+  int streams = 0;
+  for (int attempt = 1;; ++attempt) {
+    const Status status =
+        fetch_attempt(server, remote_path, local_path, &bytes, &streams);
+    if (status.is_ok()) break;
+    // A failed verification (kDataLoss) is recoverable by re-fetching:
+    // the file is still intact on the server.
+    if (!chunk_retryable(status.code()) || attempt >= policy.max_attempts) {
+      return status;
+    }
+    fault::note_retry_attempt();
+    fault::sleep_for_model(policy.backoff(attempt, jitter_key));
+  }
+  const CopyStats stats{bytes, to_seconds_d(clock_.now() - start), streams};
+  record_copy(stats);
+  return stats;
+}
+
+Status FileCopier::fetch_attempt(const net::Endpoint& server,
+                                 const std::string& remote_path,
+                                 const std::string& local_path,
+                                 std::uint64_t* bytes_out,
+                                 int* streams_out) {
   net::RpcClient control(transport_, server);
   GL_ASSIGN_OR_RETURN(const std::uint64_t size,
                       remote_size(control, remote_path));
@@ -89,30 +200,28 @@ Result<CopyStats> FileCopier::fetch(const net::Endpoint& server,
                                     Status::ok());
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(streams));
+  const fault::RetryPolicy policy;
+  const std::uint64_t jitter_key = fnv1a(as_bytes_view(remote_path));
   for (int s = 0; s < streams; ++s) {
     workers.emplace_back([&, s] {
       net::RpcClient rpc(transport_, server);
-      while (true) {
-        const std::uint64_t index = next_chunk.fetch_add(1);
-        if (index >= num_chunks) return;
-        const std::uint64_t offset = index * chunk;
-        const std::uint32_t length = static_cast<std::uint32_t>(
-            std::min<std::uint64_t>(chunk, size - offset));
+      const auto fetch_chunk = [&](std::uint64_t offset,
+                                   std::uint32_t length) -> Status {
         xdr::Encoder enc;
         enc.put_string(remote_path);
         enc.put_u64(offset);
         enc.put_u32(length);
-        auto reply = rpc.call(method_id(Method::kGetChunk), enc.buffer());
-        if (!reply.is_ok()) {
-          stream_status[static_cast<std::size_t>(s)] = reply.status();
-          return;
-        }
-        xdr::Decoder dec(*reply);
+        GL_ASSIGN_OR_RETURN(
+            const Bytes reply,
+            rpc.call(method_id(Method::kGetChunk), enc.buffer()));
+        xdr::Decoder dec(reply);
         auto data = dec.bytes();
-        if (!data.is_ok() || data->size() != length) {
-          stream_status[static_cast<std::size_t>(s)] =
-              io_error("fetch: short or malformed chunk");
-          return;
+        if (!data.is_ok()) return data_loss("fetch: malformed chunk");
+        GL_RETURN_IF_ERROR(apply_copy_fault(remote_path, *data));
+        if (data->size() != length) {
+          return data_loss(strings::cat("fetch ", remote_path,
+                                        ": truncated chunk at offset ",
+                                        offset));
         }
         std::size_t put = 0;
         while (put < data->size()) {
@@ -121,11 +230,31 @@ Result<CopyStats> FileCopier::fetch(const net::Endpoint& server,
                        static_cast<off_t>(offset + put));
           if (n < 0) {
             if (errno == EINTR) continue;
-            stream_status[static_cast<std::size_t>(s)] =
-                errno_status("pwrite", local_path);
-            return;
+            return errno_status("pwrite", local_path);
           }
           put += static_cast<std::size_t>(n);
+        }
+        return Status::ok();
+      };
+      while (true) {
+        const std::uint64_t index = next_chunk.fetch_add(1);
+        if (index >= num_chunks) return;
+        const std::uint64_t offset = index * chunk;
+        const std::uint32_t length = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(chunk, size - offset));
+        // Offset-resumable: a bad chunk is simply re-requested.
+        Status status = fetch_chunk(offset, length);
+        for (int attempt = 1;
+             !status.is_ok() && chunk_retryable(status.code()) &&
+             attempt < policy.max_attempts;
+             ++attempt) {
+          fault::note_retry_attempt();
+          fault::sleep_for_model(policy.backoff(attempt, jitter_key + index));
+          status = fetch_chunk(offset, length);
+        }
+        if (!status.is_ok()) {
+          stream_status[static_cast<std::size_t>(s)] = status;
+          return;
         }
       }
     });
@@ -133,23 +262,48 @@ Result<CopyStats> FileCopier::fetch(const net::Endpoint& server,
   for (std::thread& worker : workers) worker.join();
   ::close(fd);
   for (const Status& status : stream_status) GL_RETURN_IF_ERROR(status);
-
-  const CopyStats stats{size, to_seconds_d(clock_.now() - start), streams};
-  record_copy(stats);
-  return stats;
+  if (fault::armed() != nullptr) {
+    GL_RETURN_IF_ERROR(verify_transfer(control, remote_path, local_path));
+  }
+  *bytes_out = size;
+  *streams_out = streams;
+  return Status::ok();
 }
 
 Result<CopyStats> FileCopier::push(const std::string& local_path,
                                    const net::Endpoint& server,
                                    const std::string& remote_path) {
   const Duration start = clock_.now();
+  const fault::RetryPolicy policy;
+  const std::uint64_t jitter_key = fnv1a(as_bytes_view(remote_path));
+  std::uint64_t bytes = 0;
+  int streams = 0;
+  for (int attempt = 1;; ++attempt) {
+    const Status status =
+        push_attempt(local_path, server, remote_path, &bytes, &streams);
+    if (status.is_ok()) break;
+    if (!chunk_retryable(status.code()) || attempt >= policy.max_attempts) {
+      return status;
+    }
+    fault::note_retry_attempt();
+    fault::sleep_for_model(policy.backoff(attempt, jitter_key));
+  }
+  const CopyStats stats{bytes, to_seconds_d(clock_.now() - start), streams};
+  record_copy(stats);
+  return stats;
+}
+
+Status FileCopier::push_attempt(const std::string& local_path,
+                                const net::Endpoint& server,
+                                const std::string& remote_path,
+                                std::uint64_t* bytes_out, int* streams_out) {
   GL_ASSIGN_OR_RETURN(const std::uint64_t size, vfs::file_size(local_path));
   const int fd = ::open(local_path.c_str(), O_RDONLY);
   if (fd < 0) return errno_status("open", local_path);
 
   // Create/truncate the destination before the parallel phase.
+  net::RpcClient control(transport_, server);
   {
-    net::RpcClient control(transport_, server);
     xdr::Encoder enc;
     enc.put_string(remote_path);
     enc.put_u64(0);
@@ -174,37 +328,63 @@ Result<CopyStats> FileCopier::push(const std::string& local_path,
                                     Status::ok());
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(streams));
+  const fault::RetryPolicy policy;
+  const std::uint64_t jitter_key = fnv1a(as_bytes_view(remote_path));
   for (int s = 0; s < streams; ++s) {
     workers.emplace_back([&, s] {
       net::RpcClient rpc(transport_, server);
       Bytes buffer(chunk);
-      while (true) {
-        const std::uint64_t index = next_chunk.fetch_add(1);
-        if (index >= num_chunks) return;
-        const std::uint64_t offset = index * chunk;
-        const std::size_t length = static_cast<std::size_t>(
-            std::min<std::uint64_t>(chunk, size - offset));
+      const auto push_chunk = [&](std::uint64_t offset,
+                                  std::size_t length) -> Status {
         std::size_t got = 0;
         while (got < length) {
           const ssize_t n = ::pread(fd, buffer.data() + got, length - got,
                                     static_cast<off_t>(offset + got));
           if (n < 0) {
             if (errno == EINTR) continue;
-            stream_status[static_cast<std::size_t>(s)] =
-                errno_status("pread", local_path);
-            return;
+            return errno_status("pread", local_path);
           }
           if (n == 0) break;
           got += static_cast<std::size_t>(n);
         }
+        Bytes data(buffer.begin(),
+                   buffer.begin() + static_cast<std::ptrdiff_t>(got));
+        GL_RETURN_IF_ERROR(apply_copy_fault(remote_path, data));
         xdr::Encoder enc;
         enc.put_string(remote_path);
         enc.put_u64(offset);
         enc.put_bool(false);
-        enc.put_bytes({buffer.data(), got});
-        auto reply = rpc.call(method_id(Method::kPutChunk), enc.buffer());
-        if (!reply.is_ok()) {
-          stream_status[static_cast<std::size_t>(s)] = reply.status();
+        enc.put_bytes(data);
+        GL_ASSIGN_OR_RETURN(
+            const Bytes reply,
+            rpc.call(method_id(Method::kPutChunk), enc.buffer()));
+        (void)reply;
+        // A mutated payload leaves a hole or garbage at this offset; the
+        // post-push verification pass catches it and re-pushes.
+        if (data.size() != got) {
+          return data_loss(strings::cat("push ", remote_path,
+                                        ": truncated chunk at offset ",
+                                        offset));
+        }
+        return Status::ok();
+      };
+      while (true) {
+        const std::uint64_t index = next_chunk.fetch_add(1);
+        if (index >= num_chunks) return;
+        const std::uint64_t offset = index * chunk;
+        const std::size_t length = static_cast<std::size_t>(
+            std::min<std::uint64_t>(chunk, size - offset));
+        Status status = push_chunk(offset, length);
+        for (int attempt = 1;
+             !status.is_ok() && chunk_retryable(status.code()) &&
+             attempt < policy.max_attempts;
+             ++attempt) {
+          fault::note_retry_attempt();
+          fault::sleep_for_model(policy.backoff(attempt, jitter_key + index));
+          status = push_chunk(offset, length);
+        }
+        if (!status.is_ok()) {
+          stream_status[static_cast<std::size_t>(s)] = status;
           return;
         }
       }
@@ -213,10 +393,12 @@ Result<CopyStats> FileCopier::push(const std::string& local_path,
   for (std::thread& worker : workers) worker.join();
   ::close(fd);
   for (const Status& status : stream_status) GL_RETURN_IF_ERROR(status);
-
-  const CopyStats stats{size, to_seconds_d(clock_.now() - start), streams};
-  record_copy(stats);
-  return stats;
+  if (fault::armed() != nullptr) {
+    GL_RETURN_IF_ERROR(verify_transfer(control, remote_path, local_path));
+  }
+  *bytes_out = size;
+  *streams_out = streams;
+  return Status::ok();
 }
 
 }  // namespace griddles::remote

@@ -36,17 +36,33 @@ class FileCopier {
   FileCopier(net::Transport& transport, Clock& clock)
       : FileCopier(transport, clock, Options{}) {}
 
-  /// Remote -> local (stage in).
+  /// Remote -> local (stage in). Chunks are retried at the same offset on
+  /// transient or verifiably-short delivery; when a fault plan is armed
+  /// the whole file is checksum-verified against the server and
+  /// re-fetched on mismatch, so an injected corruption never reaches the
+  /// consumer. Fails with typed codes: kUnavailable (transient exhausted),
+  /// kDataLoss (verification kept failing), kNotFound.
   Result<CopyStats> fetch(const net::Endpoint& server,
                           const std::string& remote_path,
                           const std::string& local_path);
 
-  /// Local -> remote (stage out / copy between pipeline stages).
+  /// Local -> remote (stage out / copy between pipeline stages). Same
+  /// retry and verification discipline as fetch().
   Result<CopyStats> push(const std::string& local_path,
                          const net::Endpoint& server,
                          const std::string& remote_path);
 
  private:
+  /// One whole-file attempt; `bytes_out` reports the payload size.
+  Status fetch_attempt(const net::Endpoint& server,
+                       const std::string& remote_path,
+                       const std::string& local_path,
+                       std::uint64_t* bytes_out, int* streams_out);
+  Status push_attempt(const std::string& local_path,
+                      const net::Endpoint& server,
+                      const std::string& remote_path,
+                      std::uint64_t* bytes_out, int* streams_out);
+
   net::Transport& transport_;
   Clock& clock_;
   Options options_;

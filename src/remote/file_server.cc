@@ -17,7 +17,8 @@ namespace fs = std::filesystem;
 
 namespace {
 Status errno_status(const char* op, const std::string& path) {
-  return io_error(strings::cat(op, " ", path, ": ", std::strerror(errno)));
+  return io_error(
+      strings::cat(op, " ", path, ": ", strings::errno_message(errno)));
 }
 }  // namespace
 

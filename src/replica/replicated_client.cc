@@ -1,9 +1,11 @@
 #include "src/replica/replicated_client.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/obs/metrics.h"
 
 namespace griddles::replica {
 
@@ -38,10 +40,26 @@ Result<std::unique_ptr<ReplicatedFileClient>> ReplicatedFileClient::open(
   auto client = std::unique_ptr<ReplicatedFileClient>(
       new ReplicatedFileClient(transport, logical_name, estimator, options,
                                std::move(copies)));
-  GL_ASSIGN_OR_RETURN(const Selection chosen,
-                      select_replica(client->copies_, estimator));
-  GL_RETURN_IF_ERROR(client->attach(chosen.replica));
-  return client;
+  // Attach cheapest-first; a copy whose host is down just moves us to the
+  // next-best candidate instead of failing the open.
+  std::vector<PhysicalReplica> candidates = client->copies_;
+  Status last = not_found("no replicas to select from");
+  while (!candidates.empty()) {
+    GL_ASSIGN_OR_RETURN(const Selection chosen,
+                        select_replica(candidates, estimator));
+    last = client->attach(chosen.replica);
+    if (last.is_ok()) return client;
+    GL_LOG(kWarn, "replica open on ", chosen.replica.host, " failed: ",
+           last);
+    const std::string host = chosen.replica.host;
+    candidates.erase(
+        std::remove_if(candidates.begin(), candidates.end(),
+                       [&host](const PhysicalReplica& r) {
+                         return r.host == host;
+                       }),
+        candidates.end());
+  }
+  return last;
 }
 
 ReplicatedFileClient::ReplicatedFileClient(
@@ -101,13 +119,41 @@ Result<std::size_t> ReplicatedFileClient::read(MutableByteSpan out) {
   maybe_reselect();
   auto got = source_->read(out);
   if (!got.is_ok()) {
-    // The chosen copy failed mid-read (host down?): fail over to any
-    // other replica before surfacing the error.
+    // The chosen copy failed mid-read (host down?): fail over, trying
+    // the surviving replicas cheapest-first under the current NWS
+    // estimates rather than in catalog order.
     GL_LOG(kWarn, "replica read from ", current_.host, " failed: ",
            got.status());
+    auto& registry = obs::MetricsRegistry::global();
+    static obs::Counter& failover_attempts =
+        registry.counter("failover.attempts");
+    static obs::Counter& failover_switches =
+        registry.counter("failover.switches");
+    std::vector<PhysicalReplica> candidates;
     for (const PhysicalReplica& candidate : copies_) {
-      if (candidate.host == current_.host) continue;
-      if (attach(candidate).is_ok()) return source_->read(out);
+      if (candidate.host != current_.host) candidates.push_back(candidate);
+    }
+    while (!candidates.empty()) {
+      const auto chosen = select_replica(candidates, estimator_);
+      if (!chosen.is_ok()) break;
+      failover_attempts.add();
+      const std::string host = chosen->replica.host;
+      if (attach(chosen->replica).is_ok()) {
+        failover_switches.add();
+        got = source_->read(out);
+        if (got.is_ok()) {
+          bytes_since_reselect_ += *got;
+          return got;
+        }
+        GL_LOG(kWarn, "replica failover read from ", host, " failed: ",
+               got.status());
+      }
+      candidates.erase(
+          std::remove_if(candidates.begin(), candidates.end(),
+                         [&host](const PhysicalReplica& r) {
+                           return r.host == host;
+                         }),
+          candidates.end());
     }
     return got.status();
   }

@@ -3,12 +3,33 @@
 #include <cmath>
 #include <limits>
 
+#include "src/common/clock.h"
 #include "src/common/strings.h"
 #include "src/desim/predict.h"
+#include "src/obs/metrics.h"
 
 namespace griddles::workflow {
 
 namespace {
+
+struct SchedMetrics {
+  obs::Counter& candidates_scored;
+  obs::Gauge& pipeline_depth;
+  obs::Histogram& dispatch_latency_s;
+
+  static SchedMetrics& get() {
+    static SchedMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::global();
+      return SchedMetrics{
+          registry.counter("sched.candidates.scored"),
+          registry.gauge("sched.pipeline.depth"),
+          registry.histogram("sched.dispatch.latency_s",
+                             obs::exponential_bounds(1e-4, 4.0, 10)),
+      };
+    }();
+    return metrics;
+  }
+};
 
 Result<double> score(const std::string& name,
                      const std::vector<apps::AppKernel>& pipeline,
@@ -19,6 +40,7 @@ Result<double> score(const std::string& name,
       WorkflowSpec::from_pipeline(name, pipeline, machines));
   GL_ASSIGN_OR_RETURN(const desim::Prediction prediction,
                       desim::predict(spec, options));
+  SchedMetrics::get().candidates_scored.add();
   return prediction.total_seconds;
 }
 
@@ -32,6 +54,9 @@ Result<ScheduleResult> Scheduler::schedule(
   for (const std::string& machine : candidates) {
     GL_RETURN_IF_ERROR(testbed::find_machine(machine).status());
   }
+  SchedMetrics::get().pipeline_depth.set(
+      static_cast<std::int64_t>(pipeline.size()));
+  const WallClock::time_point dispatch_start = WallClock::now();
 
   const double combos =
       std::pow(static_cast<double>(candidates.size()),
@@ -63,6 +88,8 @@ Result<ScheduleResult> Scheduler::schedule(
       }
       if (position == index.size()) break;
     }
+    SchedMetrics::get().dispatch_latency_s.observe(
+        to_seconds_d(WallClock::now() - dispatch_start));
     return best;
   }
 
@@ -87,6 +114,8 @@ Result<ScheduleResult> Scheduler::schedule(
     best.predicted_seconds = best_stage;
   }
   best.machines = machines;
+  SchedMetrics::get().dispatch_latency_s.observe(
+      to_seconds_d(WallClock::now() - dispatch_start));
   return best;
 }
 

@@ -13,7 +13,8 @@ namespace griddles::vfs {
 
 namespace {
 Status errno_status(const char* op, const std::string& path) {
-  return io_error(strings::cat(op, " ", path, ": ", std::strerror(errno)));
+  return io_error(
+      strings::cat(op, " ", path, ": ", strings::errno_message(errno)));
 }
 }  // namespace
 
@@ -155,7 +156,8 @@ Result<std::uint64_t> file_size(const std::string& path) {
     if (errno == ENOENT) {
       return not_found(strings::cat("no such file: ", path));
     }
-    return io_error(strings::cat("stat ", path, ": ", std::strerror(errno)));
+    return io_error(
+        strings::cat("stat ", path, ": ", strings::errno_message(errno)));
   }
   return static_cast<std::uint64_t>(st.st_size);
 }

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <thread>
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/core/tailing_client.h"
 #include "src/gns/service.h"
+#include "src/obs/metrics.h"
 #include "src/remote/copier.h"
 #include "src/vfs/local_client.h"
 
@@ -17,6 +19,20 @@ namespace griddles::workflow {
 namespace {
 std::string canonical_in(const std::string& dir, const std::string& path) {
   return (std::filesystem::path(dir) / path).lexically_normal().string();
+}
+
+/// Failures worth a stage re-run: transient infrastructure trouble or a
+/// verifiably incomplete stream (a Grid Buffer writer death surfaces as
+/// kDataLoss once the reader has drained the cache file).
+bool recoverable(ErrorCode code) {
+  return code == ErrorCode::kUnavailable || code == ErrorCode::kTimeout ||
+         code == ErrorCode::kDataLoss;
+}
+
+obs::Counter& stage_reruns_counter() {
+  static obs::Counter& reruns =
+      obs::MetricsRegistry::global().counter("stage.reruns");
+  return reruns;
 }
 
 /// Writes an external input file with the deterministic stream content.
@@ -109,8 +125,16 @@ Result<WorkflowReport> WorkflowRunner::run(const WorkflowSpec& spec,
 
   if (options.mode == CouplingMode::kSequentialFiles) {
     for (const std::size_t index : order) {
-      GL_ASSIGN_OR_RETURN(TaskResult result,
-                          run_task(spec, index, options, ctx));
+      auto attempt = run_task(spec, index, options, ctx);
+      if (!attempt.is_ok() && recoverable(attempt.status().code())) {
+        // Staged coupling already isolates stages behind whole files, so
+        // one in-place re-run is the whole recovery story here.
+        GL_LOG(kWarn, "stage ", spec.tasks[index].kernel.name,
+               " failed (", attempt.status(), "); re-running");
+        stage_reruns_counter().add();
+        attempt = run_task(spec, index, options, ctx);
+      }
+      GL_ASSIGN_OR_RETURN(TaskResult result, std::move(attempt));
       report.tasks.push_back(result);
 
       // Stage outputs that remote consumers need (GridFTP-style copy).
@@ -127,27 +151,8 @@ Result<WorkflowReport> WorkflowRunner::run(const WorkflowSpec& spec,
           }
         }
         for (const std::string& destination : destinations) {
-          auto& server = ctx.file_servers[producer.machine];
-          if (!server) {
-            return internal_error("file server missing for copies");
-          }
-          auto transport = testbed_.transport(destination);
-          remote::FileCopier::Options copy_options;
-          copy_options.chunk_size = options.copy_chunk;
-          copy_options.parallel_streams = options.copy_streams;
-          remote::FileCopier copier(*transport, testbed_.clock(),
-                                    copy_options);
-          GL_ASSIGN_OR_RETURN(
-              const remote::CopyStats stats,
-              copier.fetch(server->endpoint(), edge.path,
-                           canonical_in(ctx.dirs[destination], edge.path)));
-          CopyResult copy;
-          copy.path = edge.path;
-          copy.from = producer.machine;
-          copy.to = destination;
-          copy.seconds = stats.seconds;
-          copy.finished_s = to_seconds_d(testbed_.clock().now() - ctx.start);
-          report.copies.push_back(copy);
+          GL_RETURN_IF_ERROR(stage_copy(edge.path, producer.machine,
+                                        destination, options, ctx, report));
         }
       }
     }
@@ -174,6 +179,8 @@ Result<WorkflowReport> WorkflowRunner::run(const WorkflowSpec& spec,
       });
     }
     for (std::thread& thread : threads) thread.join();
+    GL_RETURN_IF_ERROR(recover_failed_tasks(spec, edges, order, options, ctx,
+                                            results, report));
     for (std::size_t index = 0; index < spec.tasks.size(); ++index) {
       GL_ASSIGN_OR_RETURN(TaskResult result, std::move(results[index]));
       report.tasks.push_back(result);
@@ -228,16 +235,8 @@ Status WorkflowRunner::install_rules(const WorkflowSpec& spec,
               return spec.tasks[c].machine != producer_machine;
             });
         if (!crosses) continue;
-        auto& server = ctx.file_servers[producer_machine];
-        if (!server) {
-          auto& transport = ctx.server_transports[producer_machine];
-          transport = testbed_.transport(producer_machine);
-          server = std::make_unique<remote::FileServer>(
-              ctx.dirs.at(producer_machine), *transport,
-              net::inproc_endpoint(producer_machine,
-                                   strings::cat("fs-", ctx.run_tag)));
-          GL_RETURN_IF_ERROR(server->start());
-        }
+        GL_RETURN_IF_ERROR(
+            ensure_file_server(producer_machine, ctx).status());
       }
       return Status::ok();
     }
@@ -387,6 +386,121 @@ Result<TaskResult> WorkflowRunner::run_task(const WorkflowSpec& spec,
   GL_LOG(kInfo, "task ", result.name, " on ", result.machine,
          " finished at ", result.finished_s, "s");
   return result;
+}
+
+Result<remote::FileServer*> WorkflowRunner::ensure_file_server(
+    const std::string& machine, RunContext& ctx) {
+  auto& server = ctx.file_servers[machine];
+  if (!server) {
+    auto& transport = ctx.server_transports[machine];
+    transport = testbed_.transport(machine);
+    server = std::make_unique<remote::FileServer>(
+        ctx.dirs.at(machine), *transport,
+        net::inproc_endpoint(machine, strings::cat("fs-", ctx.run_tag)));
+    GL_RETURN_IF_ERROR(server->start());
+  }
+  return server.get();
+}
+
+Status WorkflowRunner::stage_copy(const std::string& path,
+                                  const std::string& from,
+                                  const std::string& to,
+                                  const Options& options, RunContext& ctx,
+                                  WorkflowReport& report) {
+  GL_ASSIGN_OR_RETURN(remote::FileServer * server,
+                      ensure_file_server(from, ctx));
+  auto transport = testbed_.transport(to);
+  remote::FileCopier::Options copy_options;
+  copy_options.chunk_size = options.copy_chunk;
+  copy_options.parallel_streams = options.copy_streams;
+  remote::FileCopier copier(*transport, testbed_.clock(), copy_options);
+  GL_ASSIGN_OR_RETURN(
+      const remote::CopyStats stats,
+      copier.fetch(server->endpoint(), path,
+                   canonical_in(ctx.dirs.at(to), path)));
+  CopyResult copy;
+  copy.path = path;
+  copy.from = from;
+  copy.to = to;
+  copy.seconds = stats.seconds;
+  copy.finished_s = to_seconds_d(testbed_.clock().now() - ctx.start);
+  report.copies.push_back(copy);
+  return Status::ok();
+}
+
+Status WorkflowRunner::recover_failed_tasks(
+    const WorkflowSpec& spec, const std::vector<Edge>& edges,
+    const std::vector<std::size_t>& order, const Options& options,
+    RunContext& ctx, std::vector<Result<TaskResult>>& results,
+    WorkflowReport& report) {
+  std::vector<std::size_t> failed;  // topological order
+  for (const std::size_t index : order) {
+    if (!results[index].is_ok() &&
+        recoverable(results[index].status().code())) {
+      failed.push_back(index);
+    }
+  }
+  if (failed.empty()) return Status::ok();
+  const std::set<std::size_t> rerun(failed.begin(), failed.end());
+  GL_LOG(kWarn, "recovering ", failed.size(),
+         " failed stage(s) via staged-file remap");
+
+  // GNS lookup takes the last matching rule, so appending kLocal
+  // mappings flips the failed stages' edges — and only those — to the
+  // staged-file discipline. Inputs from producers that succeeded keep
+  // their original mapping: a closed Grid Buffer channel replays its
+  // cache file to the fresh reader, and a tailed file is complete on
+  // disk with its done marker published.
+  for (const std::size_t index : failed) {
+    const TaskSpec& task = spec.tasks[index];
+    for (const Edge& edge : edges) {
+      if (edge.producer != index) continue;
+      gns::MappingRule rule;
+      rule.host_pattern = task.machine;
+      rule.path_pattern = canonical_in(ctx.dirs.at(task.machine), edge.path);
+      rule.mapping.mode = gns::IoMode::kLocal;
+      ctx.db.add_rule(rule);
+      for (const std::size_t consumer : edge.consumers) {
+        if (!rerun.contains(consumer)) continue;
+        const std::string& machine = spec.tasks[consumer].machine;
+        gns::MappingRule consumer_rule;
+        consumer_rule.host_pattern = machine;
+        consumer_rule.path_pattern =
+            canonical_in(ctx.dirs.at(machine), edge.path);
+        consumer_rule.mapping.mode = gns::IoMode::kLocal;
+        ctx.db.add_rule(consumer_rule);
+      }
+    }
+  }
+
+  for (const std::size_t index : failed) {
+    const TaskSpec& task = spec.tasks[index];
+    GL_LOG(kWarn, "re-running stage ", task.kernel.name, " (",
+           results[index].status(), ")");
+    stage_reruns_counter().add();
+    GL_ASSIGN_OR_RETURN(TaskResult result, run_task(spec, index, options,
+                                                    ctx));
+    // Ship re-staged outputs to re-run consumers on other machines.
+    for (const Edge& edge : edges) {
+      if (edge.producer != index) continue;
+      std::vector<std::string> destinations;
+      for (const std::size_t consumer : edge.consumers) {
+        if (!rerun.contains(consumer)) continue;
+        const std::string& machine = spec.tasks[consumer].machine;
+        if (machine != task.machine &&
+            std::find(destinations.begin(), destinations.end(), machine) ==
+                destinations.end()) {
+          destinations.push_back(machine);
+        }
+      }
+      for (const std::string& destination : destinations) {
+        GL_RETURN_IF_ERROR(stage_copy(edge.path, task.machine, destination,
+                                      options, ctx, report));
+      }
+    }
+    results[index] = std::move(result);
+  }
+  return Status::ok();
 }
 
 }  // namespace griddles::workflow

@@ -112,6 +112,26 @@ class WorkflowRunner {
   Result<TaskResult> run_task(const WorkflowSpec& spec, std::size_t index,
                               const Options& options, RunContext& ctx);
 
+  /// Starts (or reuses) the staging file server on `machine`.
+  Result<remote::FileServer*> ensure_file_server(const std::string& machine,
+                                                 RunContext& ctx);
+  /// GridFTP-style staging copy of `path` from `from` to `to`; appends a
+  /// CopyResult to the report.
+  Status stage_copy(const std::string& path, const std::string& from,
+                    const std::string& to, const Options& options,
+                    RunContext& ctx, WorkflowReport& report);
+
+  /// Re-runs tasks that failed with a recoverable Status (kUnavailable,
+  /// kTimeout, kDataLoss) after remapping their edges to staged-file
+  /// mode via GNS overrides — the paper's fallback coupling. Results of
+  /// recovered tasks are replaced in `results`.
+  Status recover_failed_tasks(const WorkflowSpec& spec,
+                              const std::vector<Edge>& edges,
+                              const std::vector<std::size_t>& order,
+                              const Options& options, RunContext& ctx,
+                              std::vector<Result<TaskResult>>& results,
+                              WorkflowReport& report);
+
   testbed::TestbedRuntime& testbed_;
 };
 

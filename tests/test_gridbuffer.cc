@@ -151,6 +151,84 @@ TEST_F(ChannelTest, RereadServedFromCacheFile) {
   EXPECT_EQ(reread, Bytes(data.begin() + 4, data.begin() + 16));
 }
 
+TEST_F(ChannelTest, CacheRereadAndSeekAfterWriterClose) {
+  // A late (or re-run) reader arrives after the writer closed and every
+  // block was consumed: the whole stream must still be readable — and
+  // seekable — out of the cache file.
+  ChannelConfig config;
+  config.block_size = 8;
+  config.cache_enabled = true;
+  auto channel = make_channel(config);
+  const auto first = channel->add_reader();
+  const Bytes data = pattern(40);
+  for (std::uint64_t off = 0; off < 40; off += 8) {
+    ASSERT_TRUE(channel->write(off, {data.data() + off, 8}).is_ok());
+  }
+  channel->close_writer();
+  for (std::uint64_t off = 0; off < 40; off += 8) {
+    ASSERT_TRUE(channel->read(first, off, 8, 1000).is_ok());
+  }
+  channel->remove_reader(first);
+  EXPECT_EQ(channel->buffered_blocks(), 0u);
+
+  const auto second = channel->add_reader();
+  // Sequential drain from the cache, then EOF at the frontier.
+  Bytes drained;
+  std::uint64_t offset = 0;
+  while (true) {
+    auto result = channel->read(second, offset, 16, 1000);
+    ASSERT_TRUE(result.is_ok()) << result.status();
+    if (result->eof) break;
+    ASSERT_FALSE(result->data.empty());
+    drained.insert(drained.end(), result->data.begin(),
+                   result->data.end());
+    offset += result->data.size();
+  }
+  EXPECT_EQ(drained, data);
+  // Seek back mid-stream and re-read a span.
+  auto mid = channel->read(second, 12, 8, 1000);
+  ASSERT_TRUE(mid.is_ok());
+  ASSERT_FALSE(mid->data.empty());
+  EXPECT_EQ(mid->data[0], data[12]);
+}
+
+TEST_F(ChannelTest, WriterDeathDrainsThenSurfacesDataLoss) {
+  // Peer-death tolerance: covered data stays readable (drain), reads
+  // past the dead writer's frontier fail typed, and a late clean close
+  // must not turn the truncation into EOF.
+  ChannelConfig config;
+  config.block_size = 8;
+  config.cache_enabled = true;
+  auto channel = make_channel(config);
+  const auto reader = channel->add_reader();
+  const Bytes data = pattern(16);
+  ASSERT_TRUE(channel->write(0, {data.data(), 8}).is_ok());
+  ASSERT_TRUE(channel->write(8, {data.data() + 8, 8}).is_ok());
+  channel->fail_writer("test-induced death");
+  EXPECT_TRUE(channel->writer_failed());
+
+  // Further writes are refused with kDataLoss.
+  auto late = channel->write(16, {data.data(), 8});
+  EXPECT_FALSE(late.is_ok());
+  EXPECT_EQ(late.code(), ErrorCode::kDataLoss);
+
+  // The covered prefix drains normally...
+  auto head = channel->read(reader, 0, 16, 1000);
+  ASSERT_TRUE(head.is_ok()) << head.status();
+  EXPECT_EQ(head->data, data);
+
+  // ...the uncovered tail is a typed loss, not a hang and not EOF —
+  // even after the dying writer's teardown sends a clean close.
+  channel->close_writer();
+  auto tail = channel->read(reader, 16, 8, 1000);
+  EXPECT_FALSE(tail.is_ok());
+  EXPECT_EQ(tail.status().code(), ErrorCode::kDataLoss);
+
+  auto stat = channel->stat(/*wait_for_eof=*/true, 1000);
+  EXPECT_FALSE(stat.is_ok());
+  EXPECT_EQ(stat.status().code(), ErrorCode::kDataLoss);
+}
+
 TEST_F(ChannelTest, OutOfOrderWritesAssemble) {
   // The hash table exists precisely so blocks may arrive out of order
   // (multiple flusher streams).

@@ -189,12 +189,13 @@ TEST(TracerTest, SpanJsonLineHasEveryField) {
   span.writes = 2;
   span.seeks = 3;
   span.read_wait_s = 0.5;
+  span.faults = 4;
   const std::string line = obs::to_json_line(span);
   EXPECT_EQ(line,
             "{\"host\":\"jagan\",\"path\":\"/data/OUT.DAT\","
             "\"mode\":\"buffer\",\"open_s\":1.5,\"close_s\":9.25,"
             "\"bytes_read\":10,\"bytes_written\":20,\"reads\":1,"
-            "\"writes\":2,\"seeks\":3,\"read_wait_s\":0.5}");
+            "\"writes\":2,\"seeks\":3,\"read_wait_s\":0.5,\"faults\":4}");
 }
 
 // End-to-end: the same pipeline run with staged files and with Grid
