@@ -14,6 +14,17 @@
 //   --faults=<spec>      arm a deterministic fault plan for the run,
 //                        e.g. --faults='seed=7;drop@rpc:*>vpac27:p=0.2'
 //
+// Crash restart (see DESIGN.md "Control-plane resilience"):
+//   --checkpoint=<file>  journal completed stages/copies; rerunning with
+//                        the same file resumes, skipping finished work
+//                        (sequential-files mode only)
+//   --scratch=<dir>      stable scratch root instead of a fresh temp dir
+//                        (required for a checkpoint resume to find the
+//                        previous run's outputs)
+//
+// [workflow] also accepts `gns_replicas = N` (replicated name service
+// with failover; default 1).
+//
 // Config format:
 //   [workflow]
 //   name = demo
@@ -35,7 +46,9 @@
 //   outputs = OUT.DAT:60000000
 //   reread = 30000000
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <optional>
 
 #include "src/common/strings.h"
 #include "src/common/tempfile.h"
@@ -83,8 +96,13 @@ Result<workflow::CouplingMode> parse_mode(const std::string& name) {
   return invalid_argument(strings::cat("unknown mode '", name, "'"));
 }
 
-Result<int> run_from_config(const Config& config,
-                            const std::string& fault_spec) {
+struct CliOptions {
+  std::string fault_spec;
+  std::string checkpoint_path;
+  std::string scratch_dir;
+};
+
+Result<int> run_from_config(const Config& config, const CliOptions& cli) {
   GL_ASSIGN_OR_RETURN(const std::string name,
                       config.get_required("workflow.name"));
   GL_ASSIGN_OR_RETURN(
@@ -154,12 +172,25 @@ Result<int> run_from_config(const Config& config,
     predicted_total = schedule.predicted_seconds;
   }
 
-  GL_ASSIGN_OR_RETURN(auto scratch, TempDir::create("griddles-run"));
-  testbed::TestbedRuntime testbed(1.0 / scale, scratch.path().string(),
-                                  byte_scale);
+  // A --scratch dir is stable across runs (checkpoint resumes need the
+  // previous run's outputs in place); otherwise use a fresh temp dir.
+  std::optional<TempDir> temp_scratch;
+  std::string scratch_root = cli.scratch_dir;
+  if (scratch_root.empty()) {
+    GL_ASSIGN_OR_RETURN(temp_scratch, TempDir::create("griddles-run"));
+    scratch_root = temp_scratch->path().string();
+  } else {
+    std::error_code ec;
+    std::filesystem::create_directories(scratch_root, ec);
+    if (ec) {
+      return io_error(strings::cat("cannot create scratch dir ",
+                                   scratch_root, ": ", ec.message()));
+    }
+  }
+  testbed::TestbedRuntime testbed(1.0 / scale, scratch_root, byte_scale);
   std::shared_ptr<fault::Plan> plan;
-  if (!fault_spec.empty()) {
-    GL_ASSIGN_OR_RETURN(plan, fault::Plan::parse(fault_spec));
+  if (!cli.fault_spec.empty()) {
+    GL_ASSIGN_OR_RETURN(plan, fault::Plan::parse(cli.fault_spec));
     fault::arm(plan, &testbed.clock());
     std::printf("fault plan armed: %zu rule(s), seed %llu\n",
                 plan->rules().size(), (unsigned long long)plan->seed());
@@ -170,6 +201,9 @@ Result<int> run_from_config(const Config& config,
       workflow::WorkflowSpec::from_pipeline(name, pipeline, machines));
   workflow::WorkflowRunner::Options options;
   options.mode = mode;
+  options.gns_replicas = static_cast<int>(
+      config.get_int_or("workflow.gns_replicas", 1));
+  options.checkpoint_path = cli.checkpoint_path;
 
   std::printf("running '%s' (%s, %.0fx time compression)...\n",
               name.c_str(),
@@ -249,7 +283,7 @@ Status dump_trace(const std::string& path) {
 int main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_path;
-  std::string fault_spec;
+  CliOptions cli;
   std::string input;
   bool usage_error = false;
   for (int i = 1; i < argc; ++i) {
@@ -259,7 +293,11 @@ int main(int argc, char** argv) {
     } else if (strings::starts_with(arg, "--trace=")) {
       trace_path = arg.substr(8);
     } else if (strings::starts_with(arg, "--faults=")) {
-      fault_spec = arg.substr(9);
+      cli.fault_spec = arg.substr(9);
+    } else if (strings::starts_with(arg, "--checkpoint=")) {
+      cli.checkpoint_path = arg.substr(13);
+    } else if (strings::starts_with(arg, "--scratch=")) {
+      cli.scratch_dir = arg.substr(10);
     } else if (input.empty()) {
       input = arg;
     } else {
@@ -269,7 +307,8 @@ int main(int argc, char** argv) {
   if (input.empty() || usage_error) {
     std::fprintf(stderr,
                  "usage: %s [--metrics=<file|->] [--trace=<file|->] "
-                 "[--faults=<spec>] <workflow.ini> | --demo\n",
+                 "[--faults=<spec>] [--checkpoint=<file>] "
+                 "[--scratch=<dir>] <workflow.ini> | --demo\n",
                  argv[0]);
     return 2;
   }
@@ -287,7 +326,7 @@ int main(int argc, char** argv) {
                  config.status().to_string().c_str());
     return 1;
   }
-  auto result = run_from_config(*config, fault_spec);
+  auto result = run_from_config(*config, cli);
   if (!result.is_ok()) {
     std::fprintf(stderr, "error: %s\n",
                  result.status().to_string().c_str());

@@ -54,7 +54,19 @@ struct FmMetrics {
 }  // namespace
 
 FileMultiplexer::FileMultiplexer(Options options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  if (options_.estimator != nullptr &&
+      options_.fallback_estimator != nullptr) {
+    estimator_chain_ = std::make_unique<nws::FallbackLinkEstimator>(
+        *options_.estimator, *options_.fallback_estimator);
+  }
+}
+
+nws::LinkEstimator* FileMultiplexer::link_estimator() const {
+  if (estimator_chain_) return estimator_chain_.get();
+  if (options_.estimator != nullptr) return options_.estimator;
+  return options_.fallback_estimator;
+}
 
 FileMultiplexer::~FileMultiplexer() {
   if (const Status s = close_all(); !s.is_ok()) {
@@ -253,8 +265,9 @@ Result<FileMultiplexer::BuiltClient> FileMultiplexer::build_remote_auto(
       }
     }
     nws::LinkEstimate link{0.05, 1e6};  // conservative default
-    if (options_.estimator != nullptr) {
-      if (auto estimate = options_.estimator->estimate(server.host);
+    if (nws::LinkEstimator* estimator = link_estimator();
+        estimator != nullptr) {
+      if (auto estimate = estimator->estimate(server.host);
           estimate.is_ok()) {
         link = *estimate;
       }
@@ -287,7 +300,8 @@ Result<FileMultiplexer::BuiltClient> FileMultiplexer::build_replicated(
     return permission_denied(
         strings::cat(canonical, " is replicated and therefore read-only"));
   }
-  if (options_.estimator == nullptr) {
+  nws::LinkEstimator* estimator = link_estimator();
+  if (estimator == nullptr) {
     return failed_precondition(
         "replicated mapping needs a link estimator (NWS)");
   }
@@ -311,7 +325,7 @@ Result<FileMultiplexer::BuiltClient> FileMultiplexer::build_replicated(
   GL_ASSIGN_OR_RETURN(
       auto client,
       replica::ReplicatedFileClient::open(*options_.transport, *catalog,
-                                          logical, *options_.estimator));
+                                          logical, *estimator));
   counters_.replicated_opens.add();
   FmMetrics::get().open_replicated.add();
   return BuiltClient{std::move(client), "replicated"};

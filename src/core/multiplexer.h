@@ -54,14 +54,18 @@ class FileMultiplexer {
     std::string local_root = ".";
     /// Directory for staged copies.
     std::string scratch_dir = "/tmp";
-    /// Name service; null means every open is plain local IO.
-    gns::GnsClient* gns = nullptr;
+    /// Name service (single client or replicated front end); null means
+    /// every open is plain local IO.
+    gns::NameService* gns = nullptr;
     /// Transport for the remote/buffer/replica modes.
     net::Transport* transport = nullptr;
     /// Model clock for copy timing; null uses a process-wide RealClock.
     Clock* clock = nullptr;
     /// Link forecasts for kAuto and replica selection; optional.
     nws::LinkEstimator* estimator = nullptr;
+    /// Static-model estimator consulted when `estimator` is unset or
+    /// fails (NWS sensor outage); see nws::FallbackLinkEstimator.
+    nws::LinkEstimator* fallback_estimator = nullptr;
     /// Copy-vs-proxy policy for kAuto mappings.
     remote::AdvisorPolicy advisor;
     /// Parallel-stream options for staged copies.
@@ -141,11 +145,16 @@ class FileMultiplexer {
                                        vfs::OpenFlags flags);
   std::string staging_path_for(const std::string& canonical) const;
   Clock& clock() const;
+  /// The estimator opens consult: primary chained with the static
+  /// fallback when both are set, otherwise whichever one exists (null
+  /// if neither).
+  nws::LinkEstimator* link_estimator() const;
   /// Closes the client and emits its trace span (caller dropped it from
   /// files_ already).
   Status finish_file(OpenFile file);
 
   Options options_;
+  std::unique_ptr<nws::FallbackLinkEstimator> estimator_chain_;
   mutable Mutex mu_;
   std::map<int, OpenFile> files_ GUARDED_BY(mu_);
   int next_fd_ GUARDED_BY(mu_) = 3;

@@ -69,6 +69,8 @@ std::string_view site_name(Site site) noexcept {
     case Site::kLink: return "link";
     case Site::kCopy: return "copy";
     case Site::kPeer: return "peer";
+    case Site::kGns: return "gns";
+    case Site::kNws: return "nws";
   }
   return "?";
 }
@@ -107,6 +109,8 @@ Result<Site> parse_site(std::string_view name) {
   if (name == "link") return Site::kLink;
   if (name == "copy") return Site::kCopy;
   if (name == "peer") return Site::kPeer;
+  if (name == "gns") return Site::kGns;
+  if (name == "nws") return Site::kNws;
   if (name == "host") return Site::kRpc;  // crash@host keys on RPC dst
   return invalid_argument(strings::cat("fault spec: unknown site '", name,
                                        "'"));
@@ -133,6 +137,13 @@ Status apply_param(Rule& rule, std::string_view key, std::string_view value) {
     rule.delay_s = *number;
   } else if (key == "after") {
     rule.after_bytes = static_cast<std::uint64_t>(*number);
+  } else if (key == "offset") {
+    rule.corrupt_offset = static_cast<std::uint64_t>(*number);
+  } else if (key == "len") {
+    if (*number < 1) {
+      return invalid_argument("fault spec: len must be >= 1");
+    }
+    rule.corrupt_len = static_cast<std::uint64_t>(*number);
   } else {
     return invalid_argument(strings::cat("fault spec: unknown param '", key,
                                          "'"));
@@ -245,7 +256,12 @@ Decision Plan::consult(Site site, std::string_view key,
                 to_seconds_d(clock->now()) >= rule.at_s;
         break;
       case Op::kPeerDeath:
-        fires = bytes >= rule.after_bytes;
+        // At control-plane sites `die` means the service is permanently
+        // down (no bytes flow through a lookup or probe); elsewhere it
+        // keys on the channel high-water mark.
+        fires = (site == Site::kGns || site == Site::kNws)
+                    ? true
+                    : bytes >= rule.after_bytes;
         break;
       default:
         if (rule.nth != 0) {
@@ -264,9 +280,14 @@ Decision Plan::consult(Site site, std::string_view key,
     }
     if (!fires) continue;
 
-    // Crash state is permanent, so don't count it against max_fires —
-    // every call to a dead host must keep failing.
-    if (rule.op != Op::kCrash) ++state.fires;
+    // Crash state — and a dead control-plane service — is permanent, so
+    // don't count it against max_fires: every call to a dead host (or
+    // lookup against a dead replica) must keep failing.
+    const bool permanent =
+        rule.op == Op::kCrash ||
+        (rule.op == Op::kPeerDeath &&
+         (site == Site::kGns || site == Site::kNws));
+    if (!permanent) ++state.fires;
     FaultMetrics::get().for_op(rule.op).add();
     log_.push_back(strings::cat(op_name(rule.op), "@", site_name(site), ":",
                                 key, " #", event));
@@ -285,6 +306,8 @@ Decision Plan::consult(Site site, std::string_view key,
         return decision;
       case Op::kCorrupt:
         decision.action = Decision::Action::kCorrupt;
+        decision.corrupt_offset = rule.corrupt_offset;
+        decision.corrupt_len = rule.corrupt_len;
         return decision;
       case Op::kPeerDeath:
         decision.action = Decision::Action::kKill;

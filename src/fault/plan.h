@@ -51,7 +51,9 @@ std::string_view op_name(Op op) noexcept;
 ///   kLink — "src>dst" host pair of a modelled link message
 ///   kCopy — remote path of a staged-copy chunk
 ///   kPeer — Grid Buffer channel name
-enum class Site : std::uint8_t { kRpc, kLink, kCopy, kPeer };
+///   kGns  — GNS replica name of one lookup attempt
+///   kNws  — NWS probe target host
+enum class Site : std::uint8_t { kRpc, kLink, kCopy, kPeer, kGns, kNws };
 
 std::string_view site_name(Site site) noexcept;
 
@@ -73,6 +75,13 @@ struct Rule {
   double at_s = 0;            // crash: model time the host dies
   double delay_s = 0;         // delay: extra seconds to add
   std::uint64_t after_bytes = 0;  // peer death: channel high-water mark
+
+  /// corrupt: byte range to flip within the delivered chunk (`offset=`,
+  /// `len=`), clamped to the chunk. Defaults mutate the first byte, which
+  /// chunk-aligned checksums always catch; a mid-chunk range exercises
+  /// the non-aligned path.
+  std::uint64_t corrupt_offset = 0;
+  std::uint64_t corrupt_len = 1;
 };
 
 /// A consult verdict.
@@ -87,6 +96,8 @@ struct Decision {
   };
   Action action = Action::kNone;
   Duration delay = Duration::zero();
+  std::uint64_t corrupt_offset = 0;  // kCorrupt: first byte to flip
+  std::uint64_t corrupt_len = 1;     // kCorrupt: bytes to flip
 
   explicit operator bool() const noexcept {
     return action != Action::kNone;

@@ -1,0 +1,215 @@
+#include "src/gns/replicated.h"
+
+#include "src/common/strings.h"
+#include "src/fault/plan.h"
+#include "src/obs/metrics.h"
+
+namespace griddles::gns {
+
+namespace {
+/// Handles cached once; see src/obs/metrics.h naming scheme.
+struct GnsMetrics {
+  obs::Counter& failover;        // lookups that survived a replica loss
+  obs::Counter& lease_served;    // lookups served from a lease (outage)
+  obs::Counter& breaker_opened;  // closed -> open transitions
+  obs::Counter& breaker_recovered;  // half-open -> closed transitions
+  obs::Gauge& breakers_open;        // replicas currently open
+  obs::Gauge& breakers_half_open;   // replicas currently probing
+
+  static GnsMetrics& get() {
+    auto& registry = obs::MetricsRegistry::global();
+    static GnsMetrics metrics{
+        registry.counter("gns.failover"),
+        registry.counter("gns.lease.served"),
+        registry.counter("gns.breaker.opened"),
+        registry.counter("gns.breaker.recovered"),
+        registry.gauge("gns.breaker.open"),
+        registry.gauge("gns.breaker.half_open"),
+    };
+    return metrics;
+  }
+};
+
+std::int64_t wall_now_ns() {
+  return WallClock::now().time_since_epoch().count();
+}
+}  // namespace
+
+std::string_view breaker_state_name(BreakerState state) noexcept {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+ReplicatedNameService::ReplicatedNameService(net::Transport& transport,
+                                             Options options)
+    : transport_(transport), options_(options) {}
+
+void ReplicatedNameService::add_replica(std::string name,
+                                        net::Endpoint endpoint) {
+  auto replica = std::make_unique<Replica>();
+  replica->name = std::move(name);
+  replica->client = std::make_unique<GnsClient>(
+      transport_, endpoint, options_.format, options_.client_cache_ttl);
+  replicas_.push_back(std::move(replica));
+}
+
+bool ReplicatedNameService::admit(Replica& replica) {
+  // Hot path (healthy replica): one relaxed load, no writes.
+  const auto state = static_cast<BreakerState>(
+      replica.state.load(std::memory_order_relaxed));
+  if (state == BreakerState::kClosed) return true;
+  if (state == BreakerState::kHalfOpen) return false;  // probe in flight
+  const std::int64_t cooldown_ns =
+      std::chrono::nanoseconds(options_.cooldown).count();
+  if (wall_now_ns() - replica.opened_at_ns.load(std::memory_order_relaxed) <
+      cooldown_ns) {
+    return false;
+  }
+  // Cooldown elapsed: claim the single half-open probe slot.
+  auto expected = static_cast<std::uint8_t>(BreakerState::kOpen);
+  if (replica.state.compare_exchange_strong(
+          expected, static_cast<std::uint8_t>(BreakerState::kHalfOpen),
+          std::memory_order_acq_rel, std::memory_order_relaxed)) {
+    GnsMetrics::get().breakers_open.sub(1);
+    GnsMetrics::get().breakers_half_open.add(1);
+    return true;
+  }
+  return false;
+}
+
+void ReplicatedNameService::record_success(Replica& replica) {
+  replica.failures.store(0, std::memory_order_relaxed);
+  const auto previous = static_cast<BreakerState>(replica.state.exchange(
+      static_cast<std::uint8_t>(BreakerState::kClosed),
+      std::memory_order_acq_rel));
+  if (previous == BreakerState::kHalfOpen) {
+    GnsMetrics::get().breakers_half_open.sub(1);
+    GnsMetrics::get().breaker_recovered.add();
+  } else if (previous == BreakerState::kOpen) {
+    // Shouldn't happen (admit gates open replicas) but keep gauges sane.
+    GnsMetrics::get().breakers_open.sub(1);
+    GnsMetrics::get().breaker_recovered.add();
+  }
+}
+
+void ReplicatedNameService::record_failure(Replica& replica) {
+  const int failures =
+      replica.failures.fetch_add(1, std::memory_order_relaxed) + 1;
+  const auto state = static_cast<BreakerState>(
+      replica.state.load(std::memory_order_relaxed));
+  if (state == BreakerState::kHalfOpen) {
+    // The probe failed: back to open, cooldown restarts.
+    replica.opened_at_ns.store(wall_now_ns(), std::memory_order_relaxed);
+    auto expected = static_cast<std::uint8_t>(BreakerState::kHalfOpen);
+    if (replica.state.compare_exchange_strong(
+            expected, static_cast<std::uint8_t>(BreakerState::kOpen),
+            std::memory_order_acq_rel, std::memory_order_relaxed)) {
+      GnsMetrics::get().breakers_half_open.sub(1);
+      GnsMetrics::get().breakers_open.add(1);
+    }
+  } else if (state == BreakerState::kClosed &&
+             failures >= options_.failure_threshold) {
+    replica.opened_at_ns.store(wall_now_ns(), std::memory_order_relaxed);
+    auto expected = static_cast<std::uint8_t>(BreakerState::kClosed);
+    if (replica.state.compare_exchange_strong(
+            expected, static_cast<std::uint8_t>(BreakerState::kOpen),
+            std::memory_order_acq_rel, std::memory_order_relaxed)) {
+      GnsMetrics::get().breaker_opened.add();
+      GnsMetrics::get().breakers_open.add(1);
+    }
+  }
+}
+
+void ReplicatedNameService::store_lease(
+    const std::string& host, const std::string& path,
+    const std::optional<FileMapping>& mapping) {
+  if (options_.lease_ttl <= std::chrono::milliseconds::zero()) return;
+  MutexLock lock(mu_);
+  leases_[{host, path}] = Lease{mapping, WallClock::now()};
+}
+
+std::optional<std::optional<FileMapping>> ReplicatedNameService::fresh_lease(
+    const std::string& host, const std::string& path) const {
+  if (options_.lease_ttl <= std::chrono::milliseconds::zero()) {
+    return std::nullopt;
+  }
+  MutexLock lock(mu_);
+  const auto it = leases_.find({host, path});
+  if (it == leases_.end()) return std::nullopt;
+  if (WallClock::now() - it->second.stored_at > options_.lease_ttl) {
+    return std::nullopt;
+  }
+  return it->second.mapping;
+}
+
+Result<std::optional<FileMapping>> ReplicatedNameService::lookup(
+    const std::string& host, const std::string& path) {
+  Status last = unavailable("gns: no replicas registered");
+  bool degraded = false;  // some replica was skipped or failed first
+  for (const auto& replica_ptr : replicas_) {
+    Replica& replica = *replica_ptr;
+    if (fault::Plan* plan = fault::armed(); plan != nullptr) {
+      const fault::Decision verdict =
+          plan->consult(fault::Site::kGns, replica.name);
+      if (verdict.action == fault::Decision::Action::kFail ||
+          verdict.action == fault::Decision::Action::kKill) {
+        last = unavailable(
+            strings::cat("injected fault: gns ", replica.name));
+        record_failure(replica);
+        degraded = true;
+        continue;
+      }
+      if (verdict.action == fault::Decision::Action::kDelay) {
+        fault::sleep_for_model(verdict.delay);
+      }
+    }
+    if (!admit(replica)) {
+      degraded = true;
+      continue;
+    }
+    auto result = replica.client->lookup(host, path);
+    if (result.is_ok()) {
+      record_success(replica);
+      if (degraded) GnsMetrics::get().failover.add();
+      store_lease(host, path, *result);
+      return result;
+    }
+    if (result.status().code() != ErrorCode::kUnavailable) {
+      // A definitive answer (bad request, decode failure): every replica
+      // would say the same, so neither fail over nor burn the breaker.
+      return result;
+    }
+    record_failure(replica);
+    degraded = true;
+    last = result.status();
+  }
+  // Total outage: a warm lease keeps in-flight opens on their last known
+  // route; a cold lookup fails typed so callers can recover.
+  if (auto lease = fresh_lease(host, path); lease.has_value()) {
+    GnsMetrics::get().lease_served.add();
+    return *lease;
+  }
+  return last;
+}
+
+BreakerState ReplicatedNameService::breaker_state(
+    std::string_view name) const {
+  for (const auto& replica : replicas_) {
+    if (replica->name == name) {
+      return static_cast<BreakerState>(
+          replica->state.load(std::memory_order_relaxed));
+    }
+  }
+  return BreakerState::kClosed;
+}
+
+std::size_t ReplicatedNameService::lease_count() const {
+  MutexLock lock(mu_);
+  return leases_.size();
+}
+
+}  // namespace griddles::gns

@@ -1,0 +1,123 @@
+// Replicated GNS: one NameService face over N gns::Service replicas.
+//
+// The paper treats the GNS as a single point the File Multiplexer must
+// reach on every uncached open; grid deployments that survived treated
+// name services as replicated, degradable components. This layer adds:
+//
+//   - per-replica circuit breakers: closed -> open after
+//     `failure_threshold` consecutive kUnavailable lookups, open ->
+//     half-open after a fixed `cooldown` (one probe lookup is admitted),
+//     half-open -> closed on success / back to open on failure;
+//   - failover: a lookup walks replicas in registration order and any
+//     replica's transient failure just moves it to the next one
+//     (`gns.failover` counts lookups that survived this way);
+//   - mapping leases: every successful lookup is cached with a wall TTL
+//     and served only when ALL replicas are down or skipped, so a
+//     workflow holding warm leases rides out a total GNS outage
+//     (`gns.lease.served`) while cold lookups fail typed kUnavailable.
+//
+// The breaker hot path (every lookup against a healthy replica) is one
+// relaxed atomic load; state transitions use CAS so racing lookups
+// account each transition exactly once. Fault-plan verdicts at
+// Site::kGns (keyed by replica name) are consulted before any RPC, so
+// `die@gns:*` produces fast typed failures rather than retry stalls.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/thread_annotations.h"
+#include "src/gns/service.h"
+
+namespace griddles::gns {
+
+/// Circuit-breaker state of one replica, in the classic three-state
+/// machine (see DESIGN.md "Control-plane resilience").
+enum class BreakerState : std::uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+std::string_view breaker_state_name(BreakerState state) noexcept;
+
+class ReplicatedNameService final : public NameService {
+ public:
+  struct Options {
+    /// Consecutive kUnavailable lookups that open a replica's breaker.
+    int failure_threshold = 3;
+    /// Wall time an open breaker waits before admitting the half-open
+    /// probe lookup. Fixed, so schedules replay deterministically.
+    std::chrono::milliseconds cooldown{250};
+    /// Wall-clock lifetime of a cached mapping lease; leases are served
+    /// only when every replica is down or skipped. Zero disables them.
+    std::chrono::milliseconds lease_ttl{30000};
+    /// Per-replica client cache TTL (see GnsClient).
+    std::chrono::milliseconds client_cache_ttl{200};
+    net::WireFormat format = net::WireFormat::kBinary;
+  };
+
+  ReplicatedNameService(net::Transport& transport, Options options);
+  explicit ReplicatedNameService(net::Transport& transport)
+      : ReplicatedNameService(transport, Options{}) {}
+
+  /// Registers a replica; `name` doubles as the fault-plan site key
+  /// (`die@gns:<name>`). Replicas are tried in registration order.
+  /// Register every replica before the first lookup.
+  void add_replica(std::string name, net::Endpoint endpoint);
+
+  /// Resolves via the first healthy replica, failing over on transient
+  /// errors; under total outage serves a fresh lease or returns the last
+  /// replica's kUnavailable.
+  Result<std::optional<FileMapping>> lookup(
+      const std::string& host, const std::string& path) override;
+
+  std::size_t replica_count() const { return replicas_.size(); }
+  BreakerState breaker_state(std::string_view name) const;
+  /// Leases currently held (tests).
+  std::size_t lease_count() const;
+
+ private:
+  struct Replica {
+    std::string name;
+    std::unique_ptr<GnsClient> client;
+    // lint: not-a-metric (breaker state machine, exported via gauges)
+    std::atomic<std::uint8_t> state{
+        static_cast<std::uint8_t>(BreakerState::kClosed)};
+    // lint: not-a-metric (breaker bookkeeping, reset on success)
+    std::atomic<int> failures{0};
+    // lint: not-a-metric (wall timestamp of the open transition)
+    std::atomic<std::int64_t> opened_at_ns{0};
+  };
+
+  struct Lease {
+    std::optional<FileMapping> mapping;
+    WallClock::time_point stored_at{};
+  };
+
+  /// Breaker gate: may this lookup attempt hit `replica`? Claims the
+  /// half-open probe slot when the cooldown has elapsed.
+  bool admit(Replica& replica);
+  void record_success(Replica& replica);
+  void record_failure(Replica& replica);
+
+  void store_lease(const std::string& host, const std::string& path,
+                   const std::optional<FileMapping>& mapping);
+  /// A still-fresh lease for (host, path), if any.
+  std::optional<std::optional<FileMapping>> fresh_lease(
+      const std::string& host, const std::string& path) const;
+
+  net::Transport& transport_;
+  const Options options_;
+  std::vector<std::unique_ptr<Replica>> replicas_;  // fixed after setup
+
+  mutable Mutex mu_;
+  std::map<std::pair<std::string, std::string>, Lease> leases_
+      GUARDED_BY(mu_);
+};
+
+}  // namespace griddles::gns

@@ -42,9 +42,22 @@ class GnsServer {
   net::RpcServer rpc_;
 };
 
+/// Anything that can resolve (host, path) to a mapping for the File
+/// Multiplexer: a single GnsClient, or a ReplicatedNameService fronting
+/// several replicas (src/gns/replicated.h). Implementations must be
+/// callable from multiple FM threads.
+class NameService {
+ public:
+  virtual ~NameService() = default;
+
+  /// Resolves (host, path). nullopt = no mapping: use plain local IO.
+  virtual Result<std::optional<FileMapping>> lookup(
+      const std::string& host, const std::string& path) = 0;
+};
+
 /// Client used by the File Multiplexer (lookups, cached) and by workflow
 /// tooling (rule edits).
-class GnsClient {
+class GnsClient final : public NameService {
  public:
   /// `cache_ttl`: wall-clock window during which cached lookups may be
   /// served without revalidation. Zero disables caching entirely.
@@ -56,8 +69,8 @@ class GnsClient {
   /// Resolves (host, path). nullopt = no mapping: use plain local IO.
   /// Cached entries are served within the TTL; any observed version bump
   /// flushes the cache (dynamic remapping, paper §3.1).
-  Result<std::optional<FileMapping>> lookup(const std::string& host,
-                                            const std::string& path);
+  Result<std::optional<FileMapping>> lookup(
+      const std::string& host, const std::string& path) override;
 
   Status add_rule(const MappingRule& rule);
   Result<std::size_t> remove_rules(const std::string& host_pattern,

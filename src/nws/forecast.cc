@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/strings.h"
+#include "src/obs/metrics.h"
 
 namespace griddles::nws {
 
@@ -125,6 +126,20 @@ std::optional<double> Series::forecast() const {
 std::vector<Sample> Series::samples() const {
   MutexLock lock(mu_);
   return {history_.begin(), history_.end()};
+}
+
+Result<LinkEstimate> FallbackLinkEstimator::estimate(
+    const std::string& dst_host) {
+  auto primary = primary_.estimate(dst_host);
+  if (primary.is_ok()) return primary;
+  static obs::Counter& fallbacks =
+      obs::MetricsRegistry::global().counter("nws.fallback.static");
+  fallbacks.add();
+  auto fallback = fallback_.estimate(dst_host);
+  // If even the static model has no answer, the primary's error (outage,
+  // staleness) is the one worth reporting.
+  if (!fallback.is_ok()) return primary;
+  return fallback;
 }
 
 void StaticLinkEstimator::set(const std::string& dst_host,

@@ -64,6 +64,11 @@ class Series {
 struct LinkEstimate {
   double latency_seconds = 0;
   double bandwidth_bytes_per_sec = 0;
+  /// How much the producer trusts these numbers: 1.0 for a fresh
+  /// measurement, decaying toward the Monitor's configured floor while
+  /// the sensor is silent. Purely advisory — consumers that need a hard
+  /// signal get kUnavailable once the estimate has fully decayed.
+  double confidence = 1.0;
 
   /// Predicted seconds to move `bytes` over this link (one message).
   double transfer_seconds(std::uint64_t bytes) const {
@@ -78,6 +83,24 @@ class LinkEstimator {
  public:
   virtual ~LinkEstimator() = default;
   virtual Result<LinkEstimate> estimate(const std::string& dst_host) = 0;
+};
+
+/// Chains a live estimator (NWS Monitor or QueryClient) with a static
+/// fallback (the configured LinkModel numbers). When the primary cannot
+/// answer — sensor outage, no samples yet, fully decayed staleness — the
+/// fallback is consulted instead of surfacing the failure, and
+/// `nws.fallback.static` counts the degradation. Both estimators must
+/// outlive this object.
+class FallbackLinkEstimator final : public LinkEstimator {
+ public:
+  FallbackLinkEstimator(LinkEstimator& primary, LinkEstimator& fallback)
+      : primary_(primary), fallback_(fallback) {}
+
+  Result<LinkEstimate> estimate(const std::string& dst_host) override;
+
+ private:
+  LinkEstimator& primary_;
+  LinkEstimator& fallback_;
 };
 
 /// Fixed estimates, for tests and analytic benches.

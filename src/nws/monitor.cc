@@ -1,7 +1,10 @@
 #include "src/nws/monitor.h"
 
+#include <cmath>
+
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/fault/plan.h"
 #include "src/obs/metrics.h"
 #include "src/xdr/codec.h"
 
@@ -46,8 +49,23 @@ Status Monitor::probe_once(const std::string& dst_host) {
   auto& registry = obs::MetricsRegistry::global();
   static obs::Counter& probes_ok = registry.counter("nws.probe.ok");
   static obs::Counter& probes_failed = registry.counter("nws.probe.failed");
+  static obs::Counter& outages = registry.counter("nws.sensor.outage");
   const Status status = probe_once_impl(dst_host);
   (status.is_ok() ? probes_ok : probes_failed).add();
+  if (status.code() != ErrorCode::kNotFound) {
+    MutexLock lock(mu_);
+    if (const auto it = targets_.find(dst_host); it != targets_.end()) {
+      if (status.is_ok()) {
+        it->second->last_ok = clock_.now();
+        it->second->failed_streak = 0;
+      } else {
+        ++it->second->failed_streak;
+        if (it->second->failed_streak == options_.outage_after_failures) {
+          outages.add();
+        }
+      }
+    }
+  }
   return status;
 }
 
@@ -65,6 +83,21 @@ Status Monitor::probe_once_impl(const std::string& dst_host) {
     if (!target->client) {
       target->client =
           std::make_unique<net::RpcClient>(transport_, target->responder);
+    }
+  }
+
+  // Injected sensor outage: `drop@nws:<dst>` fails one probe round,
+  // `die@nws:<dst>` silences the sensor permanently.
+  if (fault::Plan* plan = fault::armed(); plan != nullptr) {
+    const fault::Decision verdict =
+        plan->consult(fault::Site::kNws, dst_host);
+    if (verdict.action == fault::Decision::Action::kFail ||
+        verdict.action == fault::Decision::Action::kKill) {
+      return unavailable(
+          strings::cat("injected fault: nws probe ", dst_host));
+    }
+    if (verdict.action == fault::Decision::Action::kDelay) {
+      fault::sleep_for_model(verdict.delay);
     }
   }
 
@@ -148,12 +181,38 @@ Result<LinkEstimate> Monitor::estimate(const std::string& dst_host) {
   if (it == targets_.end()) {
     return not_found(strings::cat("nws: unknown target ", dst_host));
   }
-  const auto latency = it->second->latency.forecast();
-  const auto bandwidth = it->second->bandwidth.forecast();
+  const Target& target = *it->second;
+  if (options_.outage_after_failures > 0 &&
+      target.failed_streak >= options_.outage_after_failures) {
+    return unavailable(strings::cat(
+        "nws: sensor outage for ", dst_host, " (", target.failed_streak,
+        " consecutive probe failures)"));
+  }
+  const auto latency = target.latency.forecast();
+  const auto bandwidth = target.bandwidth.forecast();
   if (!latency || !bandwidth) {
     return unavailable(strings::cat("nws: no samples yet for ", dst_host));
   }
-  return LinkEstimate{*latency, *bandwidth};
+  // A silent sensor decays the forecast's confidence toward the floor;
+  // a fully decayed estimate is withheld rather than served as truth.
+  double confidence = 1.0;
+  if (target.last_ok >= Duration::zero() &&
+      options_.stale_after > Duration::zero()) {
+    const Duration age = clock_.now() - target.last_ok;
+    if (age > options_.stale_after) {
+      const double horizon = to_seconds_d(options_.stale_after);
+      const double overdue = to_seconds_d(age - options_.stale_after);
+      confidence = options_.confidence_floor +
+                   (1.0 - options_.confidence_floor) *
+                       std::exp(-overdue / horizon);
+      if (confidence <= options_.confidence_floor + 1e-9) {
+        return unavailable(strings::cat(
+            "nws: estimate for ", dst_host, " is stale (last probe ",
+            to_seconds_d(age), "s ago)"));
+      }
+    }
+  }
+  return LinkEstimate{*latency, *bandwidth, confidence};
 }
 
 std::shared_ptr<const Series> Monitor::latency_series(

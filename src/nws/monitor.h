@@ -46,6 +46,16 @@ class Monitor final : public LinkEstimator {
     Duration period = std::chrono::seconds(10);  // model-time probe period
     std::size_t echo_count = 3;        // RTT samples per probe round
     std::size_t bulk_bytes = 256 * 1024;  // throughput probe payload
+
+    /// Sensor-outage degradation (DESIGN.md "Control-plane resilience"):
+    /// estimates older than `stale_after` (model time since the last
+    /// successful probe) decay exponentially toward `confidence_floor`;
+    /// once fully decayed — or after `outage_after_failures` consecutive
+    /// probe failures — estimate() returns kUnavailable so consumers
+    /// fall back to the static link model instead of garbage forecasts.
+    Duration stale_after = std::chrono::seconds(60);
+    double confidence_floor = 0.25;
+    int outage_after_failures = 3;  // 0 disables the streak cutoff
   };
 
   /// `transport` provides the origin host identity; `clock` supplies the
@@ -89,6 +99,9 @@ class Monitor final : public LinkEstimator {
     std::unique_ptr<net::RpcClient> client;
     Series latency{64};
     Series bandwidth{64};
+    // Outage bookkeeping, written/read under the Monitor's mu_.
+    Duration last_ok{-1};   // model time of the last successful probe
+    int failed_streak = 0;  // consecutive probe failures
   };
 
   net::Transport& transport_;

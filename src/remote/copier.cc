@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstring>
@@ -70,9 +71,19 @@ Status apply_copy_fault(const std::string& remote_path, Bytes& data) {
     case fault::Decision::Action::kTruncate:
       data.resize(data.size() / 2);
       return Status::ok();
-    case fault::Decision::Action::kCorrupt:
-      if (!data.empty()) data[0] ^= std::byte{0xff};
+    case fault::Decision::Action::kCorrupt: {
+      // Flip the rule's byte range, clamped to this chunk, so mid-chunk
+      // (non-aligned) damage exercises the whole-file checksum pass and
+      // not just the per-chunk length check.
+      const std::uint64_t begin =
+          std::min<std::uint64_t>(verdict.corrupt_offset, data.size());
+      const std::uint64_t end =
+          std::min<std::uint64_t>(begin + verdict.corrupt_len, data.size());
+      for (std::uint64_t i = begin; i < end; ++i) {
+        data[static_cast<std::size_t>(i)] ^= std::byte{0xff};
+      }
       return Status::ok();
+    }
     case fault::Decision::Action::kFail:
     case fault::Decision::Action::kKill:
       return unavailable(

@@ -78,6 +78,18 @@ void install_paper_links(net::LinkTable& links) {
   }
 }
 
+Result<nws::LinkEstimate> StaticModelEstimator::estimate(
+    const std::string& dst_host) {
+  GL_ASSIGN_OR_RETURN(const MachineSpec origin, find_machine(origin_));
+  GL_ASSIGN_OR_RETURN(const MachineSpec dst, find_machine(dst_host));
+  const LinkSpec spec = link_between(origin, dst);
+  // Configured model numbers, not measurements: trusted less than a
+  // fresh probe, but they never decay.
+  return nws::LinkEstimate{spec.latency_s,
+                           spec.mb_per_s > 0 ? spec.mb_per_s * 1e6 : 0.0,
+                           0.5};
+}
+
 MachineRuntime::MachineRuntime(MachineSpec spec, Clock& clock)
     : spec_(std::move(spec)), clock_(clock) {}
 

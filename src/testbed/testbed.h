@@ -22,6 +22,7 @@
 #include "src/common/clock.h"
 #include "src/common/thread_annotations.h"
 #include "src/net/inproc.h"
+#include "src/nws/forecast.h"
 
 namespace griddles::testbed {
 
@@ -53,6 +54,21 @@ LinkSpec link_between(const MachineSpec& a, const MachineSpec& b);
 
 /// Installs every machine-pair link of the paper testbed into a table.
 void install_paper_links(net::LinkTable& links);
+
+/// LinkEstimator over the static paper link table, as seen from
+/// `origin`: configured model numbers, no measurements. This is the
+/// NWS-outage fallback (nws::FallbackLinkEstimator) and the estimator
+/// of record when no Monitor runs at all. Stateless and thread-safe.
+class StaticModelEstimator final : public nws::LinkEstimator {
+ public:
+  explicit StaticModelEstimator(std::string origin)
+      : origin_(std::move(origin)) {}
+
+  Result<nws::LinkEstimate> estimate(const std::string& dst_host) override;
+
+ private:
+  const std::string origin_;
+};
 
 /// Real-mode execution resource for one machine.
 class MachineRuntime {

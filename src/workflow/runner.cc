@@ -9,10 +9,12 @@
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/core/tailing_client.h"
+#include "src/gns/replicated.h"
 #include "src/gns/service.h"
 #include "src/obs/metrics.h"
 #include "src/remote/copier.h"
 #include "src/vfs/local_client.h"
+#include "src/workflow/checkpoint.h"
 
 namespace griddles::workflow {
 
@@ -33,6 +35,63 @@ obs::Counter& stage_reruns_counter() {
   static obs::Counter& reruns =
       obs::MetricsRegistry::global().counter("stage.reruns");
   return reruns;
+}
+
+obs::Counter& checkpoint_stage_skipped_counter() {
+  static obs::Counter& skipped =
+      obs::MetricsRegistry::global().counter("checkpoint.stage.skipped");
+  return skipped;
+}
+
+obs::Counter& checkpoint_copy_skipped_counter() {
+  static obs::Counter& skipped =
+      obs::MetricsRegistry::global().counter("checkpoint.copy.skipped");
+  return skipped;
+}
+
+/// The journal record for a finished stage: result accounting plus the
+/// hash of every output file.
+Result<StageRecord> make_stage_record(
+    const TaskSpec& task, const TaskResult& result,
+    const std::map<std::string, std::string>& dirs) {
+  StageRecord record;
+  record.name = result.name;
+  record.machine = result.machine;
+  record.started_s = result.started_s;
+  record.finished_s = result.finished_s;
+  record.bytes_read = result.bytes_read;
+  record.bytes_written = result.bytes_written;
+  for (const apps::StreamSpec& out : task.kernel.outputs) {
+    GL_ASSIGN_OR_RETURN(
+        const std::uint64_t hash,
+        hash_file(canonical_in(dirs.at(task.machine), out.path)));
+    record.outputs.emplace_back(out.path, hash);
+  }
+  return record;
+}
+
+/// True when every output the record journaled still exists with the
+/// recorded hash — the stage's work survived the crash intact.
+bool stage_outputs_valid(const StageRecord& record,
+                         const std::map<std::string, std::string>& dirs) {
+  const auto dir = dirs.find(record.machine);
+  if (dir == dirs.end()) return false;
+  for (const auto& [path, hash] : record.outputs) {
+    const auto on_disk = hash_file(canonical_in(dir->second, path));
+    if (!on_disk.is_ok() || *on_disk != hash) return false;
+  }
+  return true;
+}
+
+TaskResult task_result_from(const StageRecord& record) {
+  TaskResult result;
+  result.name = record.name;
+  result.machine = record.machine;
+  result.started_s = record.started_s;
+  result.finished_s = record.finished_s;
+  result.bytes_read = record.bytes_read;
+  result.bytes_written = record.bytes_written;
+  return result;
 }
 
 /// Writes an external input file with the deterministic stream content.
@@ -73,8 +132,14 @@ const TaskResult* WorkflowReport::task(const std::string& name) const {
 struct WorkflowRunner::RunContext {
   gns::Database db;
   std::unique_ptr<net::Transport> service_transport;
-  std::unique_ptr<gns::GnsServer> gns_server;
-  net::Endpoint gns_endpoint;
+  // N replica servers over the one `db` (in-process, so the replicas are
+  // perfectly synchronized); each task fronts them with a
+  // ReplicatedNameService. Names ("gns-0"...) are the fault site keys.
+  std::vector<std::unique_ptr<gns::GnsServer>> gns_servers;
+  std::vector<std::pair<std::string, net::Endpoint>> gns_endpoints;
+
+  std::unique_ptr<CheckpointLog> checkpoint;
+  bool resuming = false;  // checkpoint replayed at least one record
 
   std::map<std::string, std::string> dirs;
   std::map<std::string, std::unique_ptr<net::Transport>> server_transports;
@@ -108,14 +173,35 @@ Result<WorkflowReport> WorkflowRunner::run(const WorkflowSpec& spec,
   }
 
   // The GNS lives with the first task's machine (paper §3.2: each
-  // workflow may have its own GNS).
+  // workflow may have its own GNS), replicated `gns_replicas` times.
   const std::string& gns_host = spec.tasks.front().machine;
   ctx.service_transport = testbed_.transport(gns_host);
-  ctx.gns_server = std::make_unique<gns::GnsServer>(
-      ctx.db, *ctx.service_transport,
-      net::inproc_endpoint(gns_host, strings::cat("gns-", ctx.run_tag)));
-  GL_RETURN_IF_ERROR(ctx.gns_server->start());
-  ctx.gns_endpoint = ctx.gns_server->endpoint();
+  const int replicas = std::max(1, options.gns_replicas);
+  for (int i = 0; i < replicas; ++i) {
+    auto server = std::make_unique<gns::GnsServer>(
+        ctx.db, *ctx.service_transport,
+        net::inproc_endpoint(gns_host,
+                             strings::cat("gns-", ctx.run_tag, "-", i)));
+    GL_RETURN_IF_ERROR(server->start());
+    ctx.gns_endpoints.emplace_back(strings::cat("gns-", i),
+                                   server->endpoint());
+    ctx.gns_servers.push_back(std::move(server));
+  }
+
+  if (!options.checkpoint_path.empty()) {
+    if (options.mode != CouplingMode::kSequentialFiles) {
+      return invalid_argument(
+          "checkpointing requires sequential-files coupling (tailing and "
+          "buffer streams are not durable across a coordinator crash)");
+    }
+    GL_ASSIGN_OR_RETURN(ctx.checkpoint,
+                        CheckpointLog::open(options.checkpoint_path));
+    ctx.resuming = ctx.checkpoint->replayed() > 0;
+    if (ctx.resuming) {
+      GL_LOG(kInfo, "resuming from checkpoint ", options.checkpoint_path,
+             " (", ctx.checkpoint->replayed(), " records)");
+    }
+  }
 
   GL_RETURN_IF_ERROR(prepare_external_inputs(spec, edges, ctx));
   GL_RETURN_IF_ERROR(install_rules(spec, edges, options, ctx));
@@ -125,20 +211,43 @@ Result<WorkflowReport> WorkflowRunner::run(const WorkflowSpec& spec,
 
   if (options.mode == CouplingMode::kSequentialFiles) {
     for (const std::size_t index : order) {
-      auto attempt = run_task(spec, index, options, ctx);
-      if (!attempt.is_ok() && recoverable(attempt.status().code())) {
-        // Staged coupling already isolates stages behind whole files, so
-        // one in-place re-run is the whole recovery story here.
-        GL_LOG(kWarn, "stage ", spec.tasks[index].kernel.name,
-               " failed (", attempt.status(), "); re-running");
-        stage_reruns_counter().add();
-        attempt = run_task(spec, index, options, ctx);
+      const TaskSpec& producer = spec.tasks[index];
+      TaskResult result;
+      const StageRecord* done =
+          ctx.checkpoint ? ctx.checkpoint->stage(producer.kernel.name)
+                         : nullptr;
+      if (done != nullptr && stage_outputs_valid(*done, ctx.dirs)) {
+        // Durably finished before the crash and the outputs still
+        // hash-match on disk: keep the journaled accounting, skip the
+        // compute.
+        checkpoint_stage_skipped_counter().add();
+        GL_LOG(kInfo, "stage ", producer.kernel.name,
+               " replayed from checkpoint");
+        result = task_result_from(*done);
+      } else {
+        auto attempt = run_task(spec, index, options, ctx);
+        if (!attempt.is_ok() && recoverable(attempt.status().code())) {
+          // Staged coupling already isolates stages behind whole files,
+          // so one in-place re-run is the whole recovery story here.
+          GL_LOG(kWarn, "stage ", producer.kernel.name, " failed (",
+                 attempt.status(), "); re-running");
+          stage_reruns_counter().add();
+          attempt = run_task(spec, index, options, ctx);
+        }
+        GL_ASSIGN_OR_RETURN(result, std::move(attempt));
+        // Stages executed during a resume (journal missing or outputs
+        // invalidated) are the re-run work a crash cost us.
+        if (ctx.resuming) stage_reruns_counter().add();
+        if (ctx.checkpoint) {
+          GL_ASSIGN_OR_RETURN(
+              const StageRecord record,
+              make_stage_record(producer, result, ctx.dirs));
+          GL_RETURN_IF_ERROR(ctx.checkpoint->append_stage(record));
+        }
       }
-      GL_ASSIGN_OR_RETURN(TaskResult result, std::move(attempt));
       report.tasks.push_back(result);
 
       // Stage outputs that remote consumers need (GridFTP-style copy).
-      const TaskSpec& producer = spec.tasks[index];
       for (const Edge& edge : edges) {
         if (edge.producer != index) continue;
         std::vector<std::string> destinations;
@@ -151,8 +260,33 @@ Result<WorkflowReport> WorkflowRunner::run(const WorkflowSpec& spec,
           }
         }
         for (const std::string& destination : destinations) {
+          if (ctx.checkpoint) {
+            const CopyRecord* copied = ctx.checkpoint->copy(
+                edge.path, producer.machine, destination);
+            if (copied != nullptr) {
+              const auto on_disk = hash_file(
+                  canonical_in(ctx.dirs.at(destination), edge.path));
+              if (on_disk.is_ok() && *on_disk == copied->dest_hash) {
+                checkpoint_copy_skipped_counter().add();
+                report.copies.push_back(CopyResult{
+                    copied->path, copied->from, copied->to,
+                    copied->finished_s, copied->seconds});
+                continue;
+              }
+            }
+          }
           GL_RETURN_IF_ERROR(stage_copy(edge.path, producer.machine,
                                         destination, options, ctx, report));
+          if (ctx.checkpoint) {
+            const CopyResult& copy = report.copies.back();
+            GL_ASSIGN_OR_RETURN(
+                const std::uint64_t dest_hash,
+                hash_file(canonical_in(ctx.dirs.at(destination),
+                                       edge.path)));
+            GL_RETURN_IF_ERROR(ctx.checkpoint->append_copy(
+                CopyRecord{copy.path, copy.from, copy.to, copy.finished_s,
+                           copy.seconds, dest_hash}));
+          }
         }
       }
     }
@@ -201,7 +335,7 @@ Result<WorkflowReport> WorkflowRunner::run(const WorkflowSpec& spec,
   // Tear down per-run services.
   for (auto& [machine, server] : ctx.buffer_servers) server->stop();
   for (auto& [machine, server] : ctx.file_servers) server->stop();
-  ctx.gns_server->stop();
+  for (auto& server : ctx.gns_servers) server->stop();
   return report;
 }
 
@@ -344,14 +478,23 @@ Result<TaskResult> WorkflowRunner::run_task(const WorkflowSpec& spec,
   GL_ASSIGN_OR_RETURN(testbed::MachineRuntime* machine,
                       testbed_.machine(task.machine));
   auto transport = testbed_.transport(task.machine);
-  gns::GnsClient gns_client(*transport, ctx.gns_endpoint);
+  gns::ReplicatedNameService::Options ns_options;
+  ns_options.client_cache_ttl = std::chrono::milliseconds(200);
+  gns::ReplicatedNameService name_service(*transport, ns_options);
+  for (const auto& [name, endpoint] : ctx.gns_endpoints) {
+    name_service.add_replica(name, endpoint);
+  }
+  // Static-testbed link model as the NWS fallback: replica selection
+  // keeps working (degraded) when every estimate has gone stale.
+  testbed::StaticModelEstimator static_links(task.machine);
 
   core::FileMultiplexer::Options fm_options;
   fm_options.host = task.machine;
   fm_options.local_root = ctx.dirs.at(task.machine);
   fm_options.scratch_dir = canonical_in(ctx.dirs.at(task.machine),
                                         "scratch");
-  fm_options.gns = &gns_client;
+  fm_options.gns = &name_service;
+  fm_options.fallback_estimator = &static_links;
   fm_options.transport = transport.get();
   fm_options.clock = &testbed_.clock();
   fm_options.buffer.writer_window_blocks = options.writer_window;

@@ -90,6 +90,16 @@ class WorkflowRunner {
     std::uint32_t copy_chunk = 1u << 20;
     /// Fail a stuck run after this much wall time per buffer read.
     std::uint64_t read_deadline_ms = 120000;
+    /// GNS replication factor: this many replica servers (all over the
+    /// run's one database) behind a ReplicatedNameService per task, so
+    /// a replica loss mid-lookup fails over instead of failing a stage.
+    int gns_replicas = 1;
+    /// Append-only journal of completed stages and staging copies
+    /// (sequential-files mode only). A fresh file starts journaling; an
+    /// existing one resumes the run, re-running only incomplete stages.
+    /// Empty disables checkpointing. The workflow's scratch directories
+    /// must be the same across the original and resumed runs.
+    std::string checkpoint_path;
   };
 
   explicit WorkflowRunner(testbed::TestbedRuntime& testbed)

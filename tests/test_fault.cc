@@ -111,6 +111,41 @@ TEST(PlanTest, NthFiresExactlyOnce) {
   EXPECT_EQ(plan->injection_count(), 1u);
 }
 
+TEST(PlanParseTest, CorruptAcceptsByteRange) {
+  auto plan = Plan::parse("corrupt@copy:*mid.dat:offset=4096,len=16");
+  ASSERT_TRUE(plan.is_ok()) << plan.status();
+  const Rule& rule = (*plan)->rules()[0];
+  EXPECT_EQ(rule.corrupt_offset, 4096u);
+  EXPECT_EQ(rule.corrupt_len, 16u);
+  EXPECT_FALSE(Plan::parse("corrupt@copy:*:len=0").is_ok());
+}
+
+TEST(PlanTest, CorruptDecisionCarriesByteRange) {
+  auto plan = *Plan::parse("corrupt@copy:k:offset=7,len=3");
+  const Decision decision = plan->consult(Site::kCopy, "k");
+  EXPECT_EQ(decision.action, Decision::Action::kCorrupt);
+  EXPECT_EQ(decision.corrupt_offset, 7u);
+  EXPECT_EQ(decision.corrupt_len, 3u);
+  // Defaults: flip the first byte.
+  auto whole = *Plan::parse("corrupt@copy:k");
+  const Decision defaulted = whole->consult(Site::kCopy, "k");
+  EXPECT_EQ(defaulted.corrupt_offset, 0u);
+  EXPECT_EQ(defaulted.corrupt_len, 1u);
+}
+
+TEST(PlanTest, ControlPlaneDeathIsPermanent) {
+  auto plan = *Plan::parse("die@gns:gns-0;die@nws:freak");
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(plan->consult(Site::kGns, "gns-0").action,
+              Decision::Action::kKill);
+    EXPECT_EQ(plan->consult(Site::kNws, "freak").action,
+              Decision::Action::kKill);
+  }
+  EXPECT_EQ(plan->consult(Site::kGns, "gns-1").action,
+            Decision::Action::kNone);
+  EXPECT_EQ(plan->injection_count(), 10u);
+}
+
 TEST(PlanTest, CrashIsPermanent) {
   auto plan = *Plan::parse("crash@host:*>down");
   for (int i = 0; i < 5; ++i) {
@@ -308,6 +343,29 @@ TEST_F(FaultFmTest, AutoCopyChecksumCatchesCorruption) {
   ArmedPlan armed("seed=5;corrupt@copy:scan.bin:nth=1");
   auto fm = make_fm("jagan");
   EXPECT_EQ(read_all(fm, "scan.dat"), data);
+  EXPECT_EQ(counter_value("fault.injected.corrupt"), 1u);
+  EXPECT_GE(counter_value("retry.attempts"), 1u);
+}
+
+TEST_F(FaultFmTest, ChecksumCatchesMidFileByteRangeCorruption) {
+  const Bytes data = pattern(200000, 17);
+  ASSERT_TRUE(
+      vfs::write_file((file_server_.root() / "range.bin").string(), data)
+          .is_ok());
+  gns::FileMapping mapping;
+  mapping.mode = gns::IoMode::kAuto;
+  mapping.remote_endpoint = file_server_.endpoint().to_string();
+  mapping.remote_path = "range.bin";
+  mapping.access_fraction = 1.0;
+  add_rule("jagan", "*range.dat", mapping);
+  estimator_.set("dione", {0.3, 1e6});
+
+  // A 64-byte flip deep inside the first fetched chunk: the whole-file
+  // checksum must still catch it and the retry must deliver clean data.
+  ArmedPlan armed(
+      "seed=5;corrupt@copy:range.bin:nth=1,offset=150000,len=64");
+  auto fm = make_fm("jagan");
+  EXPECT_EQ(read_all(fm, "range.dat"), data);
   EXPECT_EQ(counter_value("fault.injected.corrupt"), 1u);
   EXPECT_GE(counter_value("retry.attempts"), 1u);
 }

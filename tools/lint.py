@@ -17,7 +17,12 @@ Checks (all over src/, headers and sources):
                      private to enforce this at compile time under Clang).
   discarded-status   A call to a Status/Result-returning function used as a
                      bare statement silently drops the error. Handle it or
-                     append `// lint:allow-discarded-status`.
+                     append `// lint:allow-discarded-status`. Ambiguous
+                     names (close, call, ...) that collide with STL methods
+                     are still flagged when the receiver's declared type
+                     resolves to a class whose method is Status-only:
+                     `Conn c; c.close();` fires, `std::ofstream f;
+                     f.close();` does not.
   raw-atomic-counter No integral std::atomic<...> outside src/obs/: event
                      counts belong in the metrics registry (obs::Counter /
                      obs::Gauge) so exporters see them. Non-metric uses
@@ -68,6 +73,12 @@ FN_DECL = re.compile(
     r"\s+(\w{4,})\s*\("
 )
 BARE_CALL = re.compile(r"^\s*(?:[\w.\->]+(?:\.|->))?(\w{4,})\s*\(")
+RECV_CALL = re.compile(r"^\s*(\w+)(?:\.|->)(\w+)\s*\(")
+CLASS_DECL = re.compile(r"^\s*(?:class|struct)\s+(\w+)")
+VAR_DECL = re.compile(
+    r"^\s*(?:mutable\s+)?(?:const\s+)?(?:\w+::)*([A-Z]\w*)"
+    r"(?:<[^;={}]*>)?\s*[&*]?\s+(\w+)\s*(?:[;({=]|$)"
+)
 # Names shared with STL/std::filesystem methods the declaration scan
 # cannot see; never flagged.
 STL_COLLISIONS = {
@@ -188,8 +199,61 @@ def collect_status_functions(files: dict[str, list[str]]) -> set[str]:
     return status_names - other_names - STL_COLLISIONS - {"Status", "Result"}
 
 
+def collect_class_status_methods(
+        files: dict[str, list[str]]) -> dict[str, set[str]]:
+    """Per class: method names declared ONLY with Status/Result returns.
+
+    A brace-depth scan of src headers. Used to resolve receivers of
+    ambiguous method names (`close`, `call`, ...) that the global
+    name-based scan must exclude: `conn.close()` is checkable once we
+    know `conn` is a `Conn` and `Conn::close` returns Status.
+    """
+    status: dict[str, set[str]] = {}
+    other: dict[str, set[str]] = {}
+    for path, lines in files.items():
+        if not path.endswith(".h"):
+            continue
+        stack: list[tuple[str, int]] = []  # (class name, depth it opened at)
+        depth = 0
+        pending: str | None = None
+        for raw in lines:
+            code = strip_comments_and_strings(raw)
+            m = CLASS_DECL.match(code)
+            if m and ";" not in code.split("{", 1)[0]:
+                pending = m.group(1)
+            if stack and pending is None and depth == stack[-1][1] + 1:
+                fm = FN_DECL.match(code)
+                if fm:
+                    klass = stack[-1][0]
+                    bucket = status if fm.group(1).startswith(
+                        ("Status", "Result<")) else other
+                    bucket.setdefault(klass, set()).add(fm.group(2))
+            for ch in code:
+                if ch == "{":
+                    depth += 1
+                    if pending is not None:
+                        stack.append((pending, depth - 1))
+                        pending = None
+                elif ch == "}":
+                    depth -= 1
+                    if stack and depth <= stack[-1][1]:
+                        stack.pop()
+            if pending is not None and ";" in code:
+                pending = None  # forward declaration
+    return {k: v - other.get(k, set()) for k, v in status.items()}
+
+
 def check_discarded_status(path: str, lines: list[str],
-                           status_fns: set[str]) -> list[Finding]:
+                           status_fns: set[str],
+                           class_status: dict[str, set[str]]) -> list[Finding]:
+    # Receiver resolution: local/member declarations whose type is a
+    # known class, so `recv.close();` can be checked by class.
+    var_types: dict[str, str] = {}
+    for line in lines:
+        m = VAR_DECL.match(strip_comments_and_strings(line))
+        if m and m.group(1) in class_status:
+            var_types[m.group(2)] = m.group(1)
+
     out = []
     prev_code = ";"
     for i, line in enumerate(lines, 1):
@@ -213,6 +277,16 @@ def check_discarded_status(path: str, lines: list[str],
                 "discarded-status", path, i,
                 f"result of Status/Result-returning '{m.group(1)}' is "
                 "dropped; handle it or add '// lint:allow-discarded-status'"))
+            continue
+        rm = RECV_CALL.match(code)
+        if rm:
+            klass = var_types.get(rm.group(1))
+            if klass and rm.group(2) in class_status.get(klass, set()):
+                out.append(Finding(
+                    "discarded-status", path, i,
+                    f"result of Status/Result-returning '{klass}::"
+                    f"{rm.group(2)}' is dropped; handle it or add "
+                    "'// lint:allow-discarded-status'"))
     return out
 
 
@@ -244,8 +318,9 @@ def source_files() -> list[pathlib.Path]:
 def run_checks(files: dict[str, list[str]],
                with_format: bool = True) -> list[Finding]:
     findings: list[Finding] = []
-    status_fns = collect_status_functions(
-        {p: l for p, l in files.items() if p.startswith("src/")})
+    src_files = {p: l for p, l in files.items() if p.startswith("src/")}
+    status_fns = collect_status_functions(src_files)
+    class_status = collect_class_status_methods(src_files)
     for path, lines in files.items():
         in_src = path.startswith("src/")
         if in_src:
@@ -253,7 +328,8 @@ def run_checks(files: dict[str, list[str]],
             findings.extend(check_mutex_annotations(path, lines))
             findings.extend(check_naked_locks(path, lines))
             findings.extend(check_raw_atomic_counters(path, lines))
-            findings.extend(check_discarded_status(path, lines, status_fns))
+            findings.extend(check_discarded_status(path, lines, status_fns,
+                                                   class_status))
     if with_format:
         findings.extend(check_format(
             [REPO / p for p in files if (REPO / p).exists()]))
@@ -275,6 +351,17 @@ def self_test() -> int:
         "src/selftest/drop.cc": ["void g() {", "  do_thing(1);", "}"],
         "src/selftest/counter.cc": [
             "std::atomic<std::uint64_t> requests{0};"],
+        # Ambiguous name (STL collision) caught via receiver resolution.
+        "src/selftest/conn.h": [
+            "class Conn {",
+            " public:",
+            "  Status close();",
+            "};"],
+        "src/selftest/conn.cc": [
+            "void g() {",
+            "  Conn conn;",
+            "  conn.close();",
+            "}"],
     }
     good = {
         "src/selftest/ok.h": [
@@ -298,6 +385,20 @@ def self_test() -> int:
             "std::atomic<std::uint64_t> seq_{0};"],
         "src/obs/ok.cc": [
             "std::atomic<std::uint64_t> value_{0};"],
+        # Unresolvable or non-Status receivers stay exempt.
+        "src/selftest_recv/ok.h": [
+            "class Duplex {",
+            " public:",
+            "  Status close();",
+            "  void close(int fd);",  # ambiguous within the class
+            "};"],
+        "src/selftest_recv/ok.cc": [
+            "void k() {",
+            "  std::ofstream out;",
+            "  out.close();",
+            "  Duplex d;",
+            "  d.close();",
+            "}"],
     }
     findings = run_checks({**bad, **good}, with_format=False)
     fired = {f.check for f in findings}
@@ -308,6 +409,9 @@ def self_test() -> int:
         if check not in fired:
             print(f"self-test: check '{check}' did not fire on bad input")
             ok = False
+    if not any(f.path == "src/selftest/conn.cc" for f in findings):
+        print("self-test: receiver-resolved discarded-status did not fire")
+        ok = False
     for f in findings:
         if "/ok." in f.path:
             print(f"self-test: false positive on good input: {f}")
