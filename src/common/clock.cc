@@ -43,6 +43,7 @@ Duration ManualClock::now() const {
 void ManualClock::sleep_for(Duration d) {
   MutexLock lock(mu_);
   const Duration deadline = now_ + d;
+  // lint: blocking-ok (monitor wait: releases mu_ until advance())
   cv_.wait(mu_, [&]() REQUIRES(mu_) { return now_ >= deadline; });
 }
 

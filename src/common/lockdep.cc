@@ -1,0 +1,184 @@
+#include "src/common/lockdep.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace griddles::lockdep {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+// The detector's own state is guarded by a raw std::mutex on purpose:
+// routing it through griddles::Mutex would re-enter the hooks.
+struct State {
+  std::mutex mu;
+  // Adjacency: A -> set of B ever acquired while A was held.
+  std::unordered_map<const void*, std::unordered_set<const void*>> edges;
+  std::uint64_t edge_count = 0;
+  std::uint64_t violation_count = 0;
+  std::string last_violation;
+};
+
+State& state() {
+  static State* s = new State();  // leaked: outlives every static Mutex
+  return *s;
+}
+
+std::atomic<ViolationPolicy> g_policy{ViolationPolicy::kAbort};
+
+// Per-thread stack of held lock addresses, outermost first.
+thread_local std::vector<const void*> t_held;
+
+std::string describe_lock(const void* mu) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%p", mu);
+  return buf;
+}
+
+/// True if `target` is reachable from `from` in the edge graph.
+/// Caller holds state().mu.
+bool reachable(State& s, const void* from, const void* target) {
+  std::vector<const void*> stack{from};
+  std::unordered_set<const void*> seen;
+  while (!stack.empty()) {
+    const void* node = stack.back();
+    stack.pop_back();
+    if (node == target) return true;
+    if (!seen.insert(node).second) continue;
+    const auto it = s.edges.find(node);
+    if (it == s.edges.end()) continue;
+    for (const void* next : it->second) stack.push_back(next);
+  }
+  return false;
+}
+
+void report_violation(State& s, std::string message) {
+  ++s.violation_count;
+  s.last_violation = message;
+  if (g_policy.load(std::memory_order_relaxed) == ViolationPolicy::kAbort) {
+    std::fprintf(stderr, "lockdep: FATAL: %s\n", message.c_str());
+    std::abort();
+  }
+}
+
+const bool g_env_init = [] {
+  const char* env = std::getenv("GRIDDLES_LOCKDEP");
+  if (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0) {
+    internal::g_enabled.store(true, std::memory_order_relaxed);
+  }
+  return true;
+}();
+
+}  // namespace
+
+void set_enabled(bool on) noexcept {
+  internal::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_violation_policy(ViolationPolicy policy) noexcept {
+  g_policy.store(policy, std::memory_order_relaxed);
+}
+
+ViolationPolicy violation_policy() noexcept {
+  return g_policy.load(std::memory_order_relaxed);
+}
+
+void acquiring(const void* mu) {
+  // Self-deadlock: this thread already holds `mu`.
+  for (const void* held : t_held) {
+    if (held == mu) {
+      State& s = state();
+      std::lock_guard<std::mutex> guard(s.mu);
+      report_violation(
+          s, "recursive acquisition of lock " + describe_lock(mu) +
+                 " (self-deadlock: thread already holds it)");
+      // kCount mode: fall through and track the nested hold anyway so the
+      // matching release keeps the stack balanced.
+      break;
+    }
+  }
+  if (!t_held.empty()) {
+    State& s = state();
+    std::lock_guard<std::mutex> guard(s.mu);
+    for (const void* held : t_held) {
+      if (held == mu) continue;
+      auto& out = s.edges[held];
+      if (!out.insert(mu).second) continue;  // edge already known: cheap
+      ++s.edge_count;
+      // New edge held -> mu: a path mu ->* held closes a cycle. The check
+      // runs only on first sighting, so steady-state nesting stays cheap.
+      if (reachable(s, mu, held)) {
+        report_violation(
+            s, "lock-order inversion: acquiring " + describe_lock(mu) +
+                   " while holding " + describe_lock(held) +
+                   ", but the reverse order was already observed (edge " +
+                   describe_lock(mu) + " ->* " + describe_lock(held) + ")");
+      }
+    }
+  }
+  t_held.push_back(mu);
+}
+
+void released(const void* mu) {
+  // MutexLock::unlock() permits out-of-order release: pop from wherever.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (*it == mu) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Release of a lock the detector never saw acquired: the detector was
+  // enabled mid-critical-section. Ignore.
+}
+
+void destroyed(const void* mu) {
+  State& s = state();
+  std::lock_guard<std::mutex> guard(s.mu);
+  const auto it = s.edges.find(mu);
+  if (it != s.edges.end()) {
+    s.edge_count -= it->second.size();
+    s.edges.erase(it);
+  }
+  for (auto& [from, targets] : s.edges) {
+    s.edge_count -= targets.erase(mu);
+  }
+}
+
+std::uint64_t edges() {
+  State& s = state();
+  std::lock_guard<std::mutex> guard(s.mu);
+  return s.edge_count;
+}
+
+std::uint64_t violations() {
+  State& s = state();
+  std::lock_guard<std::mutex> guard(s.mu);
+  return s.violation_count;
+}
+
+std::string last_violation() {
+  State& s = state();
+  std::lock_guard<std::mutex> guard(s.mu);
+  return s.last_violation;
+}
+
+std::size_t held_depth() { return t_held.size(); }
+
+void reset() {
+  State& s = state();
+  std::lock_guard<std::mutex> guard(s.mu);
+  s.edges.clear();
+  s.edge_count = 0;
+  s.violation_count = 0;
+  s.last_violation.clear();
+}
+
+}  // namespace griddles::lockdep

@@ -1,0 +1,86 @@
+// Runtime lock-order checker (the pthread-lockdep / absl deadlock-detector
+// idiom), wired into griddles::Mutex by src/common/thread_annotations.h.
+//
+// Every Mutex acquisition pushes onto a per-thread held-lock stack; the
+// first time lock B is acquired while lock A is held, the directed edge
+// A -> B is recorded in a process-global edge table and checked for a
+// cycle (incremental DFS). The moment two locks are ever taken in both
+// orders — even on a single thread, even if the deadly interleaving never
+// actually happens — the cycle is reported. That catches orderings the
+// static pass (tools/lockgraph.py) cannot see: locks reached through
+// pointers, replica arrays, or data-dependent call paths.
+//
+// Off by default: the hooks cost one relaxed atomic load per lock/unlock.
+// Enable with the environment variable GRIDDLES_LOCKDEP=1 (the CI gate
+// runs the whole test suite this way) or programmatically via
+// set_enabled(). Acquisitions that nest (rare outside teardown paths)
+// touch a global table under an internal mutex; single-lock critical
+// sections only touch the thread-local stack.
+//
+// A violation (cycle or recursive self-acquisition) aborts the process by
+// default so tests fail loudly; tests that provoke violations on purpose
+// switch to ViolationPolicy::kCount and read violations()/last_violation().
+// The counters are exported as `lockorder.edges` / `lockorder.violations`
+// through obs::snapshot() on the global metrics registry.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace griddles::lockdep {
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// True when the detector is recording. Checked inline on every Mutex
+/// lock/unlock, so this must stay one relaxed load.
+inline bool enabled() noexcept {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns the detector on or off at runtime. Locks already held when the
+/// detector turns on are invisible to it (stacks start empty), so enable
+/// early — GRIDDLES_LOCKDEP=1 enables before main().
+void set_enabled(bool on) noexcept;
+
+enum class ViolationPolicy {
+  kAbort,  // print the cycle and abort (default: tests fail loudly)
+  kCount,  // record and keep going (tests that provoke violations)
+};
+
+void set_violation_policy(ViolationPolicy policy) noexcept;
+ViolationPolicy violation_policy() noexcept;
+
+/// Called by Mutex immediately before blocking on the underlying lock:
+/// records held -> mu edges, checks for cycles and self-deadlock, then
+/// pushes mu onto the calling thread's held stack.
+void acquiring(const void* mu);
+
+/// Called by Mutex right before releasing: pops mu from the held stack
+/// (wherever it sits — MutexLock::unlock() allows out-of-order release).
+void released(const void* mu);
+
+/// Called by ~Mutex: forgets the address so a recycled allocation cannot
+/// inherit the dead lock's edges.
+void destroyed(const void* mu);
+
+/// Distinct ordered pairs (A held while acquiring B) observed so far.
+std::uint64_t edges();
+
+/// Violations observed so far (cycles + recursive acquisitions).
+std::uint64_t violations();
+
+/// Human-readable description of the most recent violation ("" if none).
+std::string last_violation();
+
+/// Held-lock stack depth of the calling thread (tests).
+std::size_t held_depth();
+
+/// Clears the edge table, violation count and message (test isolation).
+/// Held stacks are per-thread state and are left alone.
+void reset();
+
+}  // namespace griddles::lockdep

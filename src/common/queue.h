@@ -26,6 +26,7 @@ class BoundedQueue {
   /// Blocks while full; returns false if the queue was closed.
   bool push(T item) {
     MutexLock lock(mu_);
+    // lint: blocking-ok (monitor wait: releases mu_ until space or close)
     not_full_.wait(mu_, [&]() REQUIRES(mu_) {
       return closed_ || !full_locked();
     });
@@ -52,6 +53,7 @@ class BoundedQueue {
     std::optional<T> item;
     {
       MutexLock lock(mu_);
+      // lint: blocking-ok (monitor wait: releases mu_ until item or close)
       not_empty_.wait(mu_, [&]() REQUIRES(mu_) {
         return closed_ || !items_.empty();
       });
@@ -66,6 +68,7 @@ class BoundedQueue {
     std::optional<T> item;
     {
       MutexLock lock(mu_);
+      // lint: blocking-ok (monitor wait: releases mu_; bounded by deadline)
       if (!not_empty_.wait_until(mu_, deadline, [&]() REQUIRES(mu_) {
             return closed_ || !items_.empty();
           })) {

@@ -18,6 +18,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "src/common/lockdep.h"
+
 #if defined(__clang__) && (!defined(SWIG))
 #define GL_THREAD_ANNOTATION_(x) __attribute__((x))
 #else
@@ -64,6 +66,21 @@
 #define EXCLUDES(...) GL_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
 #endif
 
+// Documented lock ordering. Clang parses these (enforcement is reserved
+// for a future -Wthread-safety-beta); today tools/lockgraph.py reads the
+// string arguments ("Class::mu_" node names from its own graph) and fails
+// the build if the extracted edge set contradicts a declared order, and
+// the runtime detector in src/common/lockdep.h catches violations live.
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) \
+  GL_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) \
+  GL_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#endif
+
 #ifndef ASSERT_CAPABILITY
 #define ASSERT_CAPABILITY(x) GL_THREAD_ANNOTATION_(assert_capability(x))
 #endif
@@ -88,6 +105,9 @@ class CondVar;
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  ~Mutex() {
+    if (lockdep::enabled()) lockdep::destroyed(this);
+  }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
@@ -95,8 +115,18 @@ class CAPABILITY("mutex") Mutex {
   friend class MutexLock;
   friend class CondVar;
 
-  void lock() ACQUIRE() { mu_.lock(); }
-  void unlock() RELEASE() { mu_.unlock(); }
+  // The lockdep hooks cost one relaxed load when the detector is off
+  // (GRIDDLES_LOCKDEP=1 or lockdep::set_enabled turns it on). The
+  // acquiring() hook runs *before* blocking so an about-to-deadlock
+  // acquisition is still reported.
+  void lock() ACQUIRE() {
+    if (lockdep::enabled()) lockdep::acquiring(this);
+    mu_.lock();
+  }
+  void unlock() RELEASE() {
+    if (lockdep::enabled()) lockdep::released(this);
+    mu_.unlock();
+  }
 
   std::mutex mu_;
 };

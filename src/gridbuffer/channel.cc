@@ -202,6 +202,7 @@ Status Channel::write(std::uint64_t offset, ByteSpan data) {
     } else {
       evict_locked();
       if (table_bytes_ + data.size() <= config_.max_buffered_bytes) break;
+      // lint: blocking-ok (backpressure monitor wait: releases mu_)
       cv_.wait(mu_);
       if (writer_closed_) {
         return failed_precondition("writer closed while blocked");
@@ -397,7 +398,9 @@ Result<ReadResult> Channel::read(std::uint64_t reader_id,
     // Wait for the writer (or for an out-of-order block to land).
     const auto wait_start = WallClock::now();
     if (deadline_ms == 0) {
+      // lint: blocking-ok (monitor wait: releases mu_ until writer progress)
       cv_.wait(mu_);
+      // lint: blocking-ok (monitor wait, deadline-bounded: releases mu_)
     } else if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
       GbMetrics::get().read_wait_s.observe(
           to_seconds_d(WallClock::now() - wait_start));
@@ -418,7 +421,9 @@ Result<ReadResult> Channel::stat(bool wait_for_eof,
   MutexLock lock(mu_);
   while (wait_for_eof && !writer_closed_ && !writer_failed_ && !shutdown_) {
     if (deadline_ms == 0) {
+      // lint: blocking-ok (monitor wait: releases mu_ until eof or shutdown)
       cv_.wait(mu_);
+      // lint: blocking-ok (monitor wait, deadline-bounded: releases mu_)
     } else if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
       return timeout_error(
           strings::cat("channel ", name_, ": stat timed out awaiting eof"));
@@ -500,22 +505,43 @@ Result<std::shared_ptr<Channel>> ChannelStore::find(const std::string& name) {
 }
 
 Status ChannelStore::remove(const std::string& name) {
-  MutexLock lock(mu_);
-  const auto it = channels_.find(name);
-  if (it == channels_.end()) {
-    return not_found(strings::cat("no grid buffer channel ", name));
+  // Never call into a channel (Channel::mu_) with the store lock held:
+  // lockgraph would record ChannelStore::mu_ -> Channel::mu_, and any
+  // future channel-side path back into the store would deadlock. Check
+  // the writer outside the lock — writer_closed is monotonic once true —
+  // and re-look-up before erasing in case of a concurrent remove/create.
+  std::shared_ptr<Channel> channel;
+  {
+    MutexLock lock(mu_);
+    const auto it = channels_.find(name);
+    if (it == channels_.end()) {
+      return not_found(strings::cat("no grid buffer channel ", name));
+    }
+    channel = it->second;
   }
-  if (!it->second->writer_closed()) {
+  if (!channel->writer_closed()) {
     return failed_precondition(
         strings::cat("channel ", name, " still has an active writer"));
   }
-  channels_.erase(it);
+  MutexLock lock(mu_);
+  const auto it = channels_.find(name);
+  if (it != channels_.end() && it->second == channel) {
+    channels_.erase(it);
+  }
   return Status::ok();
 }
 
 void ChannelStore::shutdown_all() {
-  MutexLock lock(mu_);
-  for (auto& [name, channel] : channels_) channel->shutdown();
+  // Snapshot under the store lock, shut down outside it: Channel::
+  // shutdown() takes Channel::mu_ and wakes blocked readers/writers,
+  // which must not happen under ChannelStore::mu_ (see remove()).
+  std::vector<std::shared_ptr<Channel>> snapshot;
+  {
+    MutexLock lock(mu_);
+    snapshot.reserve(channels_.size());
+    for (auto& [name, channel] : channels_) snapshot.push_back(channel);
+  }
+  for (auto& channel : snapshot) channel->shutdown();
 }
 
 std::vector<std::string> ChannelStore::channel_names() const {

@@ -115,7 +115,9 @@ class Channel {
   const ChannelConfig config_;
   const std::string cache_path_;
 
-  mutable Mutex mu_;
+  // Held while consulting the armed fault plan on the write path; never
+  // acquire Channel::mu_ from inside fault-plan machinery.
+  mutable Mutex mu_ ACQUIRED_BEFORE("Plan::mu_");
   CondVar cv_;
 
   // block start -> data

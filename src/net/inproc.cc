@@ -31,6 +31,7 @@ class InProcChannel {
     const Duration arrival =
         shaper_->arrival_time(clock_.now(), message.size());
     MutexLock lock(mu_);
+    // lint: blocking-ok (monitor wait: releases mu_ until space or close)
     not_full_.wait(mu_, [&]() REQUIRES(mu_) {
       return closed_ || queue_.size() < capacity_;
     });
@@ -45,9 +46,11 @@ class InProcChannel {
     MutexLock lock(mu_);
     while (true) {
       if (deadline == nullptr) {
+        // lint: blocking-ok (monitor wait: releases mu_ until msg or close)
         not_empty_.wait(mu_, [&]() REQUIRES(mu_) {
           return closed_ || !queue_.empty();
         });
+        // lint: blocking-ok (monitor wait, deadline-bounded: releases mu_)
       } else if (!not_empty_.wait_until(mu_, *deadline, [&]() REQUIRES(mu_) {
                    return closed_ || !queue_.empty();
                  })) {

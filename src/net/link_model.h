@@ -116,7 +116,10 @@ class LinkShaper {
   }
 
  private:
-  mutable Mutex mu_;
+  // arrival_time() refreshes from the table, consults the fault plan and
+  // records metrics, all without dropping the shaper lock.
+  mutable Mutex mu_ ACQUIRED_BEFORE("LinkTable::mu_", "Plan::mu_",
+                                    "MetricsRegistry::mu_");
   LinkModel model_ GUARDED_BY(mu_);
   const LinkTable* table_ = nullptr;
   std::string src_;

@@ -264,7 +264,11 @@ Result<Bytes> RpcClient::call_impl(std::uint16_t method, ByteSpan request,
       result = unavailable(strings::cat("injected fault: rpc ", fault_key_));
     } else {
       if (decision.action == fault::Decision::Action::kDelay) {
+        // Injected latency must not serialize unrelated callers behind
+        // this client's sleep: release the client lock for the duration.
+        lock.unlock();
         fault::sleep_for_model(decision.delay);
+        lock.lock();
       }
       result = call_once(method, request, deadline);
     }
@@ -278,7 +282,9 @@ Result<Bytes> RpcClient::call_impl(std::uint16_t method, ByteSpan request,
       return result;
     }
     fault::note_retry_attempt();
+    lock.unlock();
     fault::sleep_for_model(policy.backoff(attempt, key_hash));
+    lock.lock();
   }
 }
 

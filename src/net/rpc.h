@@ -113,7 +113,9 @@ class RpcClient {
   Endpoint server_;
   WireFormat format_;
   std::string fault_key_;  // "src>dst" host pair for fault-plan consults
-  Mutex mu_;
+  // call_impl() consults the armed fault plan and bumps retry metrics
+  // under the client lock (backoff sleeps release it).
+  Mutex mu_ ACQUIRED_BEFORE("Plan::mu_", "MetricsRegistry::mu_");
   std::unique_ptr<Connection> conn_ GUARDED_BY(mu_);
   std::uint64_t next_id_ GUARDED_BY(mu_) = 1;
 };

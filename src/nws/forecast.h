@@ -56,7 +56,9 @@ class Series {
   double predict_with(int predictor, std::size_t upto) const REQUIRES(mu_);
 
   const std::size_t max_samples_;
-  mutable Mutex mu_;
+  // Leaf lock on the monitor's estimate path (Monitor::mu_ is held
+  // while forecast() runs).
+  mutable Mutex mu_ ACQUIRED_AFTER("Monitor::mu_");
   std::deque<Sample> history_ GUARDED_BY(mu_);
 };
 

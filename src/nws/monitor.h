@@ -107,7 +107,9 @@ class Monitor final : public LinkEstimator {
   net::Transport& transport_;
   Clock& clock_;
   Options options_;
-  mutable Mutex mu_;
+  // estimate() forecasts from per-target Series while holding the
+  // monitor lock; Series code must never call back into the Monitor.
+  mutable Mutex mu_ ACQUIRED_BEFORE("Series::mu_");
   // shared_ptr: probe_once works on a target for several RPC round trips
   // without the lock, and must survive add_target replacing the entry.
   std::map<std::string, std::shared_ptr<Target>> targets_ GUARDED_BY(mu_);

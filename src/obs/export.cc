@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "src/common/lockdep.h"
 #include "src/common/strings.h"
 
 namespace griddles::obs {
@@ -29,6 +30,14 @@ MetricsSnapshot snapshot(const MetricsRegistry& registry) {
         data.sum = h.sum();
         snap.histograms[name] = std::move(data);
       });
+  // The runtime lock-order detector lives below the obs layer (its hooks
+  // sit inside griddles::Mutex), so its counters are bridged into the
+  // process snapshot here rather than registered as handles. Local
+  // registries used by tests stay untouched.
+  if (&registry == &MetricsRegistry::global()) {
+    snap.counters["lockorder.edges"] = lockdep::edges();
+    snap.counters["lockorder.violations"] = lockdep::violations();
+  }
   return snap;
 }
 

@@ -2,18 +2,20 @@
 # Builds and tests the repo under each correctness mode that the local
 # toolchain supports:
 #
-#   1. plain      default build + ctest + repo lint
-#   2. thread     ThreadSanitizer build + ctest
-#   3. address    AddressSanitizer+UBSan build + ctest
-#   4. clang-tsa  Clang -Wthread-safety -Werror build (skipped if no clang)
+#   1. plain      default build + ctest + repo lint + lock-order graph
+#   2. lockdep    runtime lock-order detector on (GRIDDLES_LOCKDEP=1) + ctest
+#   3. thread     ThreadSanitizer build + ctest
+#   4. address    AddressSanitizer+UBSan build + ctest
+#   5. clang-tsa  Clang -Wthread-safety -Werror build (skipped if no clang)
 #
-# Usage: tools/check.sh [mode...]    (default: plain thread address clang-tsa)
+# Usage: tools/check.sh [mode...]
+#        (default: plain lockdep thread address clang-tsa)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc)}
 MODES=("$@")
-[ ${#MODES[@]} -eq 0 ] && MODES=(plain thread address clang-tsa)
+[ ${#MODES[@]} -eq 0 ] && MODES=(plain lockdep thread address clang-tsa)
 
 run() { echo "+ $*" >&2; "$@"; }
 
@@ -25,6 +27,15 @@ for mode in "${MODES[@]}"; do
       run cmake --build build -j"${JOBS}"
       run ctest --test-dir build --output-on-failure -j"${JOBS}"
       run python3 tools/lint.py
+      run python3 tools/lockgraph.py
+      ;;
+    lockdep)
+      # Reuses the plain build; the runtime lock-order detector aborts on
+      # any inversion or self-deadlock, so a pass means zero violations.
+      run cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+      run cmake --build build -j"${JOBS}"
+      GRIDDLES_LOCKDEP=1 \
+        run ctest --test-dir build --output-on-failure -j"${JOBS}"
       ;;
     thread)
       run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -5,16 +5,20 @@ Checks (all over src/, headers and sources):
 
   raw-primitive      No std::mutex / std::scoped_lock / std::unique_lock /
                      std::lock_guard / std::condition_variable outside
-                     src/common/thread_annotations.h. All locking goes
+                     src/common/thread_annotations.h and the lockdep
+                     implementation it hooks into. All locking goes
                      through the annotated Mutex/MutexLock/CondVar wrappers
                      so Clang's thread-safety analysis sees every acquire.
   mutex-annotation   Every `Mutex` data member must be referenced by at
                      least one GUARDED_BY(...) / REQUIRES(...) annotation
                      in the same file, or carry an inline justification:
                      `// lint: guards <what it protects>`.
-  naked-lock         No direct .lock()/.unlock() on a mutex-named receiver
-                     (use MutexLock; the wrapper's own lock()/unlock() are
-                     private to enforce this at compile time under Clang).
+  naked-lock         No direct .lock()/.unlock()/.try_lock() on a
+                     mutex-named receiver and no std lock guard types
+                     instantiated over griddles::Mutex (use MutexLock; the
+                     wrapper's own lock()/unlock() are private to enforce
+                     this at compile time under Clang, and MutexLock is
+                     where the runtime lock-order hooks live).
   discarded-status   A call to a Status/Result-returning function used as a
                      bare statement silently drops the error. Handle it or
                      append `// lint:allow-discarded-status`. Ambiguous
@@ -46,7 +50,15 @@ import subprocess
 import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
-ANNOTATIONS_HEADER = pathlib.Path("src/common/thread_annotations.h")
+# The locking vocabulary itself: the one wrapper header plus the runtime
+# lock-order detector it calls into, which deliberately uses a raw
+# std::mutex (guarding its state with griddles::Mutex would re-enter the
+# detector's own hooks).
+LOCK_IMPL_FILES = {
+    pathlib.Path("src/common/thread_annotations.h"),
+    pathlib.Path("src/common/lockdep.h"),
+    pathlib.Path("src/common/lockdep.cc"),
+}
 
 RAW_PRIMITIVES = re.compile(
     r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|scoped_lock|"
@@ -60,7 +72,15 @@ GUARD_REF = re.compile(r"\b(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|"
                        r"ASSERT_CAPABILITY|RETURN_CAPABILITY)\s*\(\s*"
                        r"(?:\w+\s*\.\s*)?(\w+)")
 GUARD_JUSTIFICATION = re.compile(r"//\s*lint:\s*guards\b")
-NAKED_LOCK = re.compile(r"\b(\w*(?:mu_|mutex_?))(?:\.|->)(?:un)?lock\s*\(")
+NAKED_LOCK = re.compile(
+    r"\b(\w*(?:mu_|mutex_?))(?:\.|->)(?:un|try_)?lock\s*\(")
+# A std guard type instantiated over the wrapper would bypass MutexLock's
+# lockdep hooks and explicit unlock()/lock() protocol (it also will not
+# compile — Mutex::lock() is private — but the lint message is clearer
+# than the compiler's).
+WRAPPER_GUARD = re.compile(
+    r"std::(?:lock_guard|scoped_lock|unique_lock|shared_lock)\s*<\s*"
+    r"(?:griddles::)?Mutex\s*>")
 INTEGRAL_ATOMIC = re.compile(
     r"std::atomic<\s*(?:std::)?"
     r"(?:u?int(?:8|16|32|64)?_t|size_t|ptrdiff_t|int|unsigned|long|short)"
@@ -107,7 +127,7 @@ class Finding:
 
 
 def check_raw_primitives(path: str, lines: list[str]) -> list[Finding]:
-    if pathlib.Path(path) == ANNOTATIONS_HEADER:
+    if pathlib.Path(path) in LOCK_IMPL_FILES:
         return []
     out = []
     for i, line in enumerate(lines, 1):
@@ -122,7 +142,7 @@ def check_raw_primitives(path: str, lines: list[str]) -> list[Finding]:
 
 
 def check_mutex_annotations(path: str, lines: list[str]) -> list[Finding]:
-    if pathlib.Path(path) == ANNOTATIONS_HEADER:
+    if pathlib.Path(path) in LOCK_IMPL_FILES:
         return []
     guarded: set[str] = set()
     for line in lines:
@@ -144,7 +164,7 @@ def check_mutex_annotations(path: str, lines: list[str]) -> list[Finding]:
 
 
 def check_naked_locks(path: str, lines: list[str]) -> list[Finding]:
-    if pathlib.Path(path) == ANNOTATIONS_HEADER:
+    if pathlib.Path(path) in LOCK_IMPL_FILES:
         return []
     out = []
     for i, line in enumerate(lines, 1):
@@ -152,7 +172,13 @@ def check_naked_locks(path: str, lines: list[str]) -> list[Finding]:
         if NAKED_LOCK.search(code):
             out.append(Finding(
                 "naked-lock", path, i,
-                "direct lock()/unlock() on a mutex: use MutexLock"))
+                "direct lock()/unlock()/try_lock() on a mutex: use "
+                "MutexLock"))
+        if WRAPPER_GUARD.search(code):
+            out.append(Finding(
+                "naked-lock", path, i,
+                "std lock guard over griddles::Mutex bypasses the wrapper "
+                "protocol: use MutexLock"))
     return out
 
 
@@ -347,6 +373,9 @@ def self_test() -> int:
             "  int value_;",
             "};"],
         "src/selftest/naked.cc": ["void f() { mu_.lock(); mu_.unlock(); }"],
+        "src/selftest/trylock.cc": ["bool f() { return mu_.try_lock(); }"],
+        "src/selftest/guard.cc": [
+            "void f() { std::scoped_lock<griddles::Mutex> g(mu_); }"],
         "src/selftest/drop.h": ["Status do_thing(int x);"],
         "src/selftest/drop.cc": ["void g() {", "  do_thing(1);", "}"],
         "src/selftest/counter.cc": [
@@ -385,6 +414,12 @@ def self_test() -> int:
             "std::atomic<std::uint64_t> seq_{0};"],
         "src/obs/ok.cc": [
             "std::atomic<std::uint64_t> value_{0};"],
+        # The lockdep implementation is the one sanctioned raw-primitive
+        # user outside the annotations header.
+        "src/common/lockdep.cc": [
+            "#include <mutex>",
+            "std::mutex mu;",
+            "std::lock_guard<std::mutex> guard(mu);"],
         # Unresolvable or non-Status receivers stay exempt.
         "src/selftest_recv/ok.h": [
             "class Duplex {",
@@ -411,6 +446,14 @@ def self_test() -> int:
             ok = False
     if not any(f.path == "src/selftest/conn.cc" for f in findings):
         print("self-test: receiver-resolved discarded-status did not fire")
+        ok = False
+    for must_fire in ("src/selftest/trylock.cc", "src/selftest/guard.cc"):
+        if not any(f.path == must_fire and f.check == "naked-lock"
+                   for f in findings):
+            print(f"self-test: naked-lock did not fire on {must_fire}")
+            ok = False
+    if any(f.path == "src/common/lockdep.cc" for f in findings):
+        print("self-test: false positive on the lockdep allowlist")
         ok = False
     for f in findings:
         if "/ok." in f.path:
