@@ -5,7 +5,7 @@
 //   exp 2: all programs on jagan, GridFiles (buffer channels) (89:17)
 //   exp 3: distributed across koume00/jagan/dione/vpac27/freak (55:11)
 //
-//   ./bench_table2_durability [--fast|--exact|--scale=N]
+//   ./bench_table2_durability [--fast|--exact|--scale=N|--spans=F]
 #include "bench/table_common.h"
 
 using namespace griddles;
@@ -89,5 +89,6 @@ int main(int argc, char** argv) {
     if (!shape) all_ok = false;
   }
   if (!bench_json.write()) all_ok = false;
+  if (!write_spans(config)) all_ok = false;
   return all_ok ? 0 : 1;
 }

@@ -2,7 +2,7 @@
 // run *sequentially* with conventional local files on each of the five
 // machines, reporting per-model wall times.
 //
-//   ./bench_table3_sequential [--fast|--exact|--scale=N]
+//   ./bench_table3_sequential [--fast|--exact|--scale=N|--spans=F]
 #include "bench/table_common.h"
 
 using namespace griddles;
@@ -73,5 +73,6 @@ int main(int argc, char** argv) {
       "\n(The cc2lam column is cumulative, as in the paper; 'measured' "
       "shows ccam / cc2lam / darlam completion.)\n");
   if (!bench_json.write()) all_ok = false;
+  if (!write_spans(config)) all_ok = false;
   return all_ok ? 0 : 1;
 }

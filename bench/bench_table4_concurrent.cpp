@@ -6,7 +6,7 @@
 // Shape to reproduce: buffers beat files on every machine; most buffer
 // runs also beat the Table 3 sequential totals, EXCEPT dione and vpac27.
 //
-//   ./bench_table4_concurrent [--fast|--exact|--scale=N]
+//   ./bench_table4_concurrent [--fast|--exact|--scale=N|--spans=F]
 #include "bench/table_common.h"
 
 using namespace griddles;
@@ -88,5 +88,6 @@ int main(int argc, char** argv) {
       "\n(Paper shape: buffers always beat files; buffer runs beat the "
       "sequential totals except on dione and vpac27.)\n");
   if (!bench_json.write()) all_ok = false;
+  if (!write_spans(config)) all_ok = false;
   return all_ok ? 0 : 1;
 }

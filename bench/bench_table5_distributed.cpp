@@ -7,7 +7,7 @@
 // (intra-Melbourne pairs); sequential+copy wins on the high-latency
 // international links (brecca->bouscat, brecca->freak).
 //
-//   ./bench_table5_distributed [--fast|--exact|--scale=N]
+//   ./bench_table5_distributed [--fast|--exact|--scale=N|--spans=F]
 #include "bench/table_common.h"
 
 using namespace griddles;
@@ -86,5 +86,6 @@ int main(int argc, char** argv) {
       "high-latency WAN links favour sequential runs with bulk file "
       "copies, because the copy \"sends larger blocks\".)\n");
   if (!bench_json.write()) all_ok = false;
+  if (!write_spans(config)) all_ok = false;
   return all_ok && crossover_matches >= 5 ? 0 : 1;
 }

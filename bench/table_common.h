@@ -8,7 +8,9 @@
 // factor so streams keep the paper's latency sensitivity).
 //
 // Flags: --fast (coarser scale for smoke runs), --exact (1:1 bytes),
-//        --scale=<wall_per_model denominator>.
+//        --scale=<wall_per_model denominator>,
+//        --spans=<file|-> (causal trace as Chrome trace-event JSON;
+//        feed it to tools/tracepath.py for critical-path analysis).
 #pragma once
 
 #include <cstdio>
@@ -21,6 +23,7 @@
 #include "src/common/tempfile.h"
 #include "src/desim/predict.h"
 #include "src/obs/export.h"
+#include "src/obs/span.h"
 #include "src/workflow/runner.h"
 
 namespace griddles::bench {
@@ -28,6 +31,7 @@ namespace griddles::bench {
 struct TableConfig {
   double wall_per_model = 1.0 / 800.0;
   double byte_scale = 64.0;
+  std::string spans_path;  // empty = causal tracing off
 
   static TableConfig from_args(int argc, char** argv) {
     TableConfig config;
@@ -41,11 +45,34 @@ struct TableConfig {
       } else if (strings::starts_with(arg, "--scale=")) {
         const auto denom = strings::parse_double(arg.substr(8));
         if (denom && *denom > 0) config.wall_per_model = 1.0 / *denom;
+      } else if (strings::starts_with(arg, "--spans=")) {
+        config.spans_path = arg.substr(8);
       }
+    }
+    if (!config.spans_path.empty()) {
+      obs::SpanCollector::global().enable(true);
     }
     return config;
   }
 };
+
+/// Drains the collected spans to `config.spans_path` after the bench's
+/// experiments have run. Returns false (after a stderr note) only when
+/// a requested file cannot be written.
+inline bool write_spans(const TableConfig& config) {
+  if (config.spans_path.empty()) return true;
+  const Status wrote = obs::write_text_file(
+      config.spans_path, obs::SpanCollector::global().drain_chrome_json());
+  if (!wrote.is_ok()) {
+    std::fprintf(stderr, "cannot write spans: %s\n",
+                 wrote.to_string().c_str());
+    return false;
+  }
+  if (config.spans_path != "-") {
+    std::printf("wrote %s\n", config.spans_path.c_str());
+  }
+  return true;
+}
 
 /// Runner options matching the paper's Grid Buffer deployment: 4 KiB
 /// blocks (scaled), a small in-flight window — the latency-sensitive
@@ -95,6 +122,19 @@ inline Result<ExperimentResult> run_experiment(
   testbed::TestbedRuntime testbed(config.wall_per_model,
                                   scratch.path().string(),
                                   config.byte_scale);
+  // Span model timestamps come from this experiment's scaled clock; the
+  // scope resets on exit so a later experiment never reads a destroyed
+  // testbed's clock.
+  struct ModelClockScope {
+    explicit ModelClockScope(const Clock* clock) {
+      if (obs::SpanCollector::global().enabled()) {
+        obs::SpanCollector::global().set_model_clock(clock);
+      }
+    }
+    ~ModelClockScope() {
+      obs::SpanCollector::global().set_model_clock(nullptr);
+    }
+  } model_clock_scope(&testbed.clock());
   workflow::WorkflowRunner runner(testbed);
 
   // Scaled pipeline for the real run; paper-scale spec for prediction.

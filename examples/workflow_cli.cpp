@@ -6,9 +6,18 @@
 //   ./build/examples/workflow_cli <workflow.ini>
 //   ./build/examples/workflow_cli --demo      (writes & runs an example)
 //
-// Telemetry (see DESIGN.md "Observability"):
+// Telemetry (see DESIGN.md "Observability" and §11 "Causal tracing"):
 //   --metrics=<file|->   dump a JSON metrics snapshot after the run
 //   --trace=<file|->     record per-file IO spans, dump as JSON lines
+//   --spans=<file|->     record causal spans, dump as Chrome
+//                        trace-event/Perfetto JSON (load in
+//                        chrome://tracing, or analyze with
+//                        tools/tracepath.py)
+//
+// Telemetry output paths are probed up front (a bad path exits 2 before
+// any work runs), reports are dumped even when the run itself fails
+// (chaos runs still produce a timeline), and a failed dump exits 3 with
+// a typed error instead of silently losing the report.
 //
 // Fault injection (see DESIGN.md §7, README "Fault injection"):
 //   --faults=<spec>      arm a deterministic fault plan for the run,
@@ -55,6 +64,7 @@
 #include "src/desim/predict.h"
 #include "src/fault/plan.h"
 #include "src/obs/export.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/sched/scheduler.h"
 #include "src/workflow/runner.h"
@@ -188,6 +198,16 @@ Result<int> run_from_config(const Config& config, const CliOptions& cli) {
     }
   }
   testbed::TestbedRuntime testbed(1.0 / scale, scratch_root, byte_scale);
+  // With --spans= active, stamp spans with model time from this run's
+  // testbed clock; the guard unhooks it before the testbed dies.
+  struct ModelClockScope {
+    explicit ModelClockScope(const Clock* clock) {
+      if (obs::SpanCollector::global().enabled()) {
+        obs::SpanCollector::global().set_model_clock(clock);
+      }
+    }
+    ~ModelClockScope() { obs::SpanCollector::global().set_model_clock(nullptr); }
+  } model_clock_scope(&testbed.clock());
   std::shared_ptr<fault::Plan> plan;
   if (!cli.fault_spec.empty()) {
     GL_ASSIGN_OR_RETURN(plan, fault::Plan::parse(cli.fault_spec));
@@ -264,18 +284,31 @@ outputs = DARLAM_OUT.DAT:60000000
 reread = 30000000
 )";
 
-Status dump_trace(const std::string& path) {
-  const std::string lines = obs::IoTracer::global().drain_json_lines();
-  if (path == "-") {
-    std::fwrite(lines.data(), 1, lines.size(), stdout);
-    return Status::ok();
+/// Dumps every requested telemetry report. Returns the first failure but
+/// still attempts the rest — a broken metrics path must not also lose
+/// the span timeline.
+Status dump_telemetry(const std::string& metrics_path,
+                      const std::string& trace_path,
+                      const std::string& spans_path) {
+  Status first = Status::ok();
+  const auto note = [&first](Status status) {
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "telemetry: %s\n", status.to_string().c_str());
+      if (first.is_ok()) first = std::move(status);
+    }
+  };
+  if (!metrics_path.empty()) {
+    note(obs::write_json_file(metrics_path, obs::snapshot()));
   }
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    return io_error(strings::cat("cannot write trace file ", path));
+  if (!trace_path.empty()) {
+    note(obs::write_text_file(trace_path,
+                              obs::IoTracer::global().drain_json_lines()));
   }
-  out << lines;
-  return Status::ok();
+  if (!spans_path.empty()) {
+    note(obs::write_text_file(
+        spans_path, obs::SpanCollector::global().drain_chrome_json()));
+  }
+  return first;
 }
 
 }  // namespace
@@ -283,6 +316,7 @@ Status dump_trace(const std::string& path) {
 int main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_path;
+  std::string spans_path;
   CliOptions cli;
   std::string input;
   bool usage_error = false;
@@ -292,6 +326,8 @@ int main(int argc, char** argv) {
       metrics_path = arg.substr(10);
     } else if (strings::starts_with(arg, "--trace=")) {
       trace_path = arg.substr(8);
+    } else if (strings::starts_with(arg, "--spans=")) {
+      spans_path = arg.substr(8);
     } else if (strings::starts_with(arg, "--faults=")) {
       cli.fault_spec = arg.substr(9);
     } else if (strings::starts_with(arg, "--checkpoint=")) {
@@ -307,12 +343,23 @@ int main(int argc, char** argv) {
   if (input.empty() || usage_error) {
     std::fprintf(stderr,
                  "usage: %s [--metrics=<file|->] [--trace=<file|->] "
-                 "[--faults=<spec>] [--checkpoint=<file>] "
-                 "[--scratch=<dir>] <workflow.ini> | --demo\n",
+                 "[--spans=<file|->] [--faults=<spec>] "
+                 "[--checkpoint=<file>] [--scratch=<dir>] "
+                 "<workflow.ini> | --demo\n",
                  argv[0]);
     return 2;
   }
+  // Fail fast on an unwritable telemetry path: better a usage error now
+  // than a minutes-long run whose report cannot be written at the end.
+  for (const std::string* path : {&metrics_path, &trace_path, &spans_path}) {
+    if (path->empty()) continue;
+    if (const Status s = obs::probe_writable(*path); !s.is_ok()) {
+      std::fprintf(stderr, "telemetry: %s\n", s.to_string().c_str());
+      return 2;
+    }
+  }
   if (!trace_path.empty()) obs::IoTracer::global().enable(true);
+  if (!spans_path.empty()) obs::SpanCollector::global().enable(true);
 
   Result<Config> config = invalid_argument("unset");
   if (input == "--demo") {
@@ -327,23 +374,15 @@ int main(int argc, char** argv) {
     return 1;
   }
   auto result = run_from_config(*config, cli);
+  // Telemetry is dumped whether the run succeeded or not: a faulted or
+  // crashed run's metrics and span timeline are exactly what a chaos
+  // investigation needs.
+  const Status dumped = dump_telemetry(metrics_path, trace_path, spans_path);
   if (!result.is_ok()) {
     std::fprintf(stderr, "error: %s\n",
                  result.status().to_string().c_str());
     return 1;
   }
-  if (!metrics_path.empty()) {
-    if (const Status s = obs::write_json_file(metrics_path, obs::snapshot());
-        !s.is_ok()) {
-      std::fprintf(stderr, "metrics: %s\n", s.to_string().c_str());
-      return 1;
-    }
-  }
-  if (!trace_path.empty()) {
-    if (const Status s = dump_trace(trace_path); !s.is_ok()) {
-      std::fprintf(stderr, "trace: %s\n", s.to_string().c_str());
-      return 1;
-    }
-  }
+  if (!dumped.is_ok()) return 3;
   return *result;
 }

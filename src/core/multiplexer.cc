@@ -8,6 +8,7 @@
 #include "src/core/tailing_client.h"
 #include "src/core/transcode_client.h"
 #include "src/gridbuffer/file_client.h"
+#include "src/obs/span.h"
 #include "src/remote/remote_client.h"
 #include "src/replica/replicated_client.h"
 #include "src/vfs/local_client.h"
@@ -103,6 +104,8 @@ Result<int> FileMultiplexer::open(const std::string& path,
   }
   const WallClock::time_point decision_start = WallClock::now();
   const std::string canonical = canonical_path(path);
+  obs::Span open_span(obs::SpanKind::kOpen,
+                      strings::cat("open:", canonical));
 
   gns::FileMapping mapping;  // defaults to plain local IO
   if (options_.gns != nullptr) {
@@ -130,7 +133,10 @@ Result<int> FileMultiplexer::open(const std::string& path,
   file.span.path = canonical;
   file.span.mode = built.mode;
   file.span.open_s = to_seconds_d(clock().now());
+  file.span.wall_open_s = obs::SpanCollector::global().wall_now_s();
   file.client = std::move(built.client);
+  open_span.add_attr("host", options_.host);
+  open_span.add_attr("mode", built.mode);
 
   MutexLock lock(mu_);
   const int fd = next_fd_++;
@@ -447,6 +453,7 @@ Status FileMultiplexer::finish_file(OpenFile file) {
   // Closing outside the lock: staged files copy back, buffers drain.
   const Status closed = file.client->close();
   file.span.close_s = to_seconds_d(clock().now());
+  file.span.wall_close_s = obs::SpanCollector::global().wall_now_s();
   obs::IoTracer::global().record(std::move(file.span));
   return closed;
 }

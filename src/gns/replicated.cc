@@ -1,8 +1,11 @@
 #include "src/gns/replicated.h"
 
+#include <optional>
+
 #include "src/common/strings.h"
 #include "src/fault/plan.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 
 namespace griddles::gns {
 
@@ -150,6 +153,16 @@ Result<std::optional<FileMapping>> ReplicatedNameService::lookup(
     const std::string& host, const std::string& path) {
   Status last = unavailable("gns: no replicas registered");
   bool degraded = false;  // some replica was skipped or failed first
+  // Opened when the first replica fails or is skipped; covers the rest
+  // of the walk, so the timeline shows what the replica loss cost.
+  std::optional<obs::Span> failover_span;
+  const auto note_degraded = [&](const std::string& replica_name) {
+    degraded = true;
+    if (!failover_span) {
+      failover_span.emplace(obs::SpanKind::kFailover,
+                            strings::cat("gns.failover:", replica_name));
+    }
+  };
   for (const auto& replica_ptr : replicas_) {
     Replica& replica = *replica_ptr;
     if (fault::Plan* plan = fault::armed(); plan != nullptr) {
@@ -160,7 +173,7 @@ Result<std::optional<FileMapping>> ReplicatedNameService::lookup(
         last = unavailable(
             strings::cat("injected fault: gns ", replica.name));
         record_failure(replica);
-        degraded = true;
+        note_degraded(replica.name);
         continue;
       }
       if (verdict.action == fault::Decision::Action::kDelay) {
@@ -168,7 +181,7 @@ Result<std::optional<FileMapping>> ReplicatedNameService::lookup(
       }
     }
     if (!admit(replica)) {
-      degraded = true;
+      note_degraded(replica.name);
       continue;
     }
     auto result = replica.client->lookup(host, path);
@@ -184,7 +197,7 @@ Result<std::optional<FileMapping>> ReplicatedNameService::lookup(
       return result;
     }
     record_failure(replica);
-    degraded = true;
+    note_degraded(replica.name);
     last = result.status();
   }
   // Total outage: a warm lease keeps in-flight opens on their last known

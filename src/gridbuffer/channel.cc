@@ -7,11 +7,13 @@
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/fault/plan.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 
 namespace griddles::gridbuffer {
 
@@ -151,6 +153,8 @@ Result<Bytes> Channel::cache_read_locked(std::uint64_t offset,
 }
 
 Status Channel::write(std::uint64_t offset, ByteSpan data) {
+  // Lazily opened on the first backpressure stall (see read()).
+  std::optional<obs::Span> wait_span;
   MutexLock lock(mu_);
   if (shutdown_) return aborted_error("grid buffer shutting down");
   if (writer_failed_) {
@@ -202,6 +206,10 @@ Status Channel::write(std::uint64_t offset, ByteSpan data) {
     } else {
       evict_locked();
       if (table_bytes_ + data.size() <= config_.max_buffered_bytes) break;
+      if (!wait_span) {
+        wait_span.emplace(obs::SpanKind::kBufferWait,
+                          strings::cat("gbuf.write_wait:", name_));
+      }
       // lint: blocking-ok (backpressure monitor wait: releases mu_)
       cv_.wait(mu_);
       if (writer_closed_) {
@@ -277,6 +285,11 @@ Result<ReadResult> Channel::read(std::uint64_t reader_id,
   const auto deadline =
       WallClock::now() + std::chrono::milliseconds(
                              deadline_ms == 0 ? 0 : deadline_ms);
+  // Lazily opened on the first blocked wait, so a read served straight
+  // from the table emits no span; ends when the read returns, covering
+  // the whole stall. Span recording never blocks, so creating it under
+  // mu_ is safe.
+  std::optional<obs::Span> wait_span;
   MutexLock lock(mu_);
   if (readers_.find(reader_id) == readers_.end()) {
     return not_found(strings::cat("channel ", name_, ": unknown reader"));
@@ -396,6 +409,10 @@ Result<ReadResult> Channel::read(std::uint64_t reader_id,
     }
 
     // Wait for the writer (or for an out-of-order block to land).
+    if (!wait_span) {
+      wait_span.emplace(obs::SpanKind::kBufferWait,
+                        strings::cat("gbuf.read_wait:", name_));
+    }
     const auto wait_start = WallClock::now();
     if (deadline_ms == 0) {
       // lint: blocking-ok (monitor wait: releases mu_ until writer progress)

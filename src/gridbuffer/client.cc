@@ -2,6 +2,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/obs/span.h"
 #include "src/xdr/codec.h"
 
 namespace griddles::gridbuffer {
@@ -28,9 +29,16 @@ Result<std::unique_ptr<GridBufferWriter>> GridBufferWriter::open(
   if (!options.synchronous) {
     const int threads = std::max(1, options.flusher_threads);
     writer->flushers_.reserve(static_cast<std::size_t>(threads));
+    // Hand the opener's trace context to the flusher threads so their
+    // write RPCs (and any server-side backpressure stalls) parent to
+    // the stage that opened this writer instead of surfacing as
+    // orphan root traces.
+    const obs::TraceContext trace_parent = obs::current_context();
     for (int i = 0; i < threads; ++i) {
-      writer->flushers_.emplace_back(
-          [w = writer.get()] { w->flusher_main(); });
+      writer->flushers_.emplace_back([w = writer.get(), trace_parent] {
+        obs::ScopedTraceContext trace_scope(trace_parent);
+        w->flusher_main();
+      });
     }
   }
   return writer;

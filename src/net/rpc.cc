@@ -1,10 +1,13 @@
 #include "src/net/rpc.h"
 
+#include <optional>
+
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/fault/plan.h"
 #include "src/fault/retry.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/xdr/codec.h"
 
 namespace griddles::net {
@@ -42,6 +45,8 @@ Bytes encode_frame(const RpcFrame& frame, WireFormat format) {
   enc.put_u8(static_cast<std::uint8_t>(frame.kind));
   enc.put_u64(frame.id);
   enc.put_u16(frame.method);
+  enc.put_u64(frame.trace_id);
+  enc.put_u64(frame.span_id);
   xdr::encode_status(enc, frame.status);
   enc.put_bytes(frame.payload);
   return std::move(enc).take();
@@ -56,6 +61,8 @@ Result<RpcFrame> decode_frame(ByteSpan data, WireFormat format) {
   frame.kind = static_cast<FrameKind>(kind);
   GL_ASSIGN_OR_RETURN(frame.id, dec.u64());
   GL_ASSIGN_OR_RETURN(frame.method, dec.u16());
+  GL_ASSIGN_OR_RETURN(frame.trace_id, dec.u64());
+  GL_ASSIGN_OR_RETURN(frame.span_id, dec.u64());
   GL_RETURN_IF_ERROR(xdr::decode_status(dec, &frame.status));
   GL_ASSIGN_OR_RETURN(frame.payload, dec.bytes());
   return frame;
@@ -188,11 +195,24 @@ void RpcServer::serve_connection(std::shared_ptr<Connection> conn) {
       reply.status = unimplemented(
           strings::cat("no handler for method ", frame->method));
     } else {
+      // Adopt the caller's trace for the handler's duration: spans the
+      // handler opens (and nested RPC hops it makes) parent to the
+      // remote caller's span. Untraced requests get no server span —
+      // otherwise every request would mint a fresh root trace.
+      obs::ScopedTraceContext trace_scope(
+          obs::TraceContext{frame->trace_id, frame->span_id});
+      std::optional<obs::Span> rpc_span;
+      if (frame->trace_id != 0) {
+        rpc_span.emplace(obs::SpanKind::kRpc,
+                         strings::cat("rpc:", frame->method));
+        rpc_span->add_attr("peer", context.peer);
+      }
       auto result = (*handler)(frame->payload, context);
       if (result.is_ok()) {
         reply.payload = std::move(*result);
       } else {
         reply.status = result.status();
+        if (rpc_span) rpc_span->add_attr("error", result.status().message());
       }
     }
     const Bytes encoded = encode_frame(reply, format_);
@@ -253,6 +273,10 @@ Result<Bytes> RpcClient::call_impl(std::uint16_t method, ByteSpan request,
   // a retried request is never a duplicate on the server.
   const fault::RetryPolicy policy;
   const std::uint64_t key_hash = fnv1a(as_bytes_view(fault_key_));
+  // Each retry becomes a child span covering its backoff plus the
+  // re-attempt: emplace() records the previous attempt's span and opens
+  // the next, so injected chaos shows up on the exported timeline.
+  std::optional<obs::Span> retry_span;
   for (int attempt = 1;; ++attempt) {
     Result<Bytes> result = unavailable("rpc: no attempt made");
     fault::Plan* plan = fault::armed();
@@ -282,6 +306,10 @@ Result<Bytes> RpcClient::call_impl(std::uint16_t method, ByteSpan request,
       return result;
     }
     fault::note_retry_attempt();
+    retry_span.emplace(obs::SpanKind::kRetry,
+                       strings::cat("rpc.retry:", fault_key_));
+    retry_span->add_attr("attempt", strings::cat(attempt + 1));
+    retry_span->add_attr("error", result.status().message());
     lock.unlock();
     fault::sleep_for_model(policy.backoff(attempt, key_hash));
     lock.lock();
@@ -297,6 +325,11 @@ Result<Bytes> RpcClient::call_once(std::uint16_t method, ByteSpan request,
     frame.kind = FrameKind::kRequest;
     frame.id = next_id_++;
     frame.method = method;
+    // Propagate the caller's active trace across the hop; zeros (no
+    // active span on this thread) travel as "untraced".
+    const obs::TraceContext trace = obs::current_context();
+    frame.trace_id = trace.trace_id;
+    frame.span_id = trace.span_id;
     frame.payload.assign(request.begin(), request.end());
 
     const Bytes encoded = encode_frame(frame, format_);

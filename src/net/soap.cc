@@ -148,6 +148,12 @@ Bytes soap_encode(const RpcFrame& frame) {
       "<gl:method>",
       frame.method,
       "</gl:method>"
+      "<gl:trace>",
+      frame.trace_id,
+      "</gl:trace>"
+      "<gl:span>",
+      frame.span_id,
+      "</gl:span>"
       "<gl:status>",
       static_cast<std::uint32_t>(frame.status.code()),
       "</gl:status>"
@@ -193,6 +199,18 @@ Result<RpcFrame> soap_decode(ByteSpan data) {
   }
   frame.id = static_cast<std::uint64_t>(*id_v);
   frame.method = static_cast<std::uint16_t>(*method_v);
+  // Trace metadata is optional: envelopes from before the tracing layer
+  // (or hand-written fixtures) simply decode as untraced.
+  if (const auto trace = extract_tag(xml, "gl:trace")) {
+    if (const auto trace_v = strings::parse_int(*trace); trace_v && *trace_v >= 0) {
+      frame.trace_id = static_cast<std::uint64_t>(*trace_v);
+    }
+  }
+  if (const auto span = extract_tag(xml, "gl:span")) {
+    if (const auto span_v = strings::parse_int(*span); span_v && *span_v >= 0) {
+      frame.span_id = static_cast<std::uint64_t>(*span_v);
+    }
+  }
   if (*code_v != 0) {
     frame.status =
         Status(static_cast<ErrorCode>(*code_v),

@@ -24,6 +24,12 @@ struct RpcFrame {
   FrameKind kind = FrameKind::kRequest;
   std::uint64_t id = 0;
   std::uint16_t method = 0;
+  // Causal-trace propagation metadata (obs::TraceContext of the caller's
+  // active span; both 0 when the caller is untraced). The server installs
+  // this as the handler thread's context, so server-side spans parent to
+  // the remote caller across the hop.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
   Status status;  // meaningful on responses only
   Bytes payload;
 };

@@ -338,21 +338,34 @@ Result<MetricsSnapshot> parse_snapshot(std::string_view json) {
   return snap;
 }
 
-Status write_json_file(const std::string& path,
-                       const MetricsSnapshot& snapshot) {
-  const std::string json = to_json(snapshot);
+Status write_text_file(const std::string& path, std::string_view content) {
   if (path == "-") {
-    std::printf("%s\n", json.c_str());
+    std::fwrite(content.data(), 1, content.size(), stdout);
     return Status::ok();
   }
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
-    return io_error(strings::cat("cannot open metrics file ", path));
+    return io_error(strings::cat("cannot open ", path, " for writing"));
   }
-  out << json << '\n';
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
   out.close();
   if (!out) return io_error(strings::cat("write failed: ", path));
   return Status::ok();
+}
+
+Status probe_writable(const std::string& path) {
+  if (path == "-") return Status::ok();
+  std::ofstream out(path, std::ios::app);  // append: probe must not clobber
+  if (!out) {
+    return io_error(strings::cat("cannot open ", path, " for writing"));
+  }
+  return Status::ok();
+}
+
+Status write_json_file(const std::string& path,
+                       const MetricsSnapshot& snapshot) {
+  return write_text_file(path, to_json(snapshot) + "\n");
 }
 
 }  // namespace griddles::obs

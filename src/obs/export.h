@@ -50,6 +50,17 @@ std::string json_quote(std::string_view text);
 /// Shortest round-trippable rendering of a double (JSON number).
 std::string json_number(double value);
 
+/// Writes `content` to `path` ("-" = stdout), checking the stream after
+/// both the write and the close so a full disk or revoked permission
+/// surfaces as a typed Status instead of a silently truncated report.
+Status write_text_file(const std::string& path, std::string_view content);
+
+/// Verifies `path` can be opened for writing WITHOUT truncating what is
+/// there ("-" always passes). Telemetry consumers probe their output
+/// paths up front so a typo fails the run before hours of work, not
+/// after.
+Status probe_writable(const std::string& path);
+
 /// Writes to_json(snapshot) to `path`; "-" writes to stdout.
 Status write_json_file(const std::string& path,
                        const MetricsSnapshot& snapshot);

@@ -15,6 +15,10 @@ std::string to_json_line(const IoSpan& span) {
   out += json_number(span.open_s);
   out += ",\"close_s\":";
   out += json_number(span.close_s);
+  out += ",\"wall_open_s\":";
+  out += json_number(span.wall_open_s);
+  out += ",\"wall_close_s\":";
+  out += json_number(span.wall_close_s);
   out += ",\"bytes_read\":";
   out += std::to_string(span.bytes_read);
   out += ",\"bytes_written\":";

@@ -26,6 +26,10 @@ struct IoSpan {
   std::string mode;    // routing decision: local|tail|staged|proxy|...
   double open_s = 0;   // model time at open
   double close_s = 0;  // model time at close
+  // Wall seconds at open/close, on the SpanCollector's origin-relative
+  // timeline so IO-trace lines line up with exported causal spans.
+  double wall_open_s = 0;
+  double wall_close_s = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
   std::uint64_t reads = 0;

@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "src/fault/retry.h"
 #include "src/net/rpc.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/remote/protocol.h"
 #include "src/vfs/local_client.h"
 #include "src/xdr/codec.h"
@@ -152,11 +154,16 @@ FileCopier::FileCopier(net::Transport& transport, Clock& clock,
 Result<CopyStats> FileCopier::fetch(const net::Endpoint& server,
                                     const std::string& remote_path,
                                     const std::string& local_path) {
+  obs::Span copy_span(obs::SpanKind::kCopy,
+                      strings::cat("copy.fetch:", remote_path));
   const Duration start = clock_.now();
   const fault::RetryPolicy policy;
   const std::uint64_t jitter_key = fnv1a(as_bytes_view(remote_path));
   std::uint64_t bytes = 0;
   int streams = 0;
+  // Whole-file re-fetches become child retry spans: emplace() records
+  // the previous attempt's span and opens the next (backoff + attempt).
+  std::optional<obs::Span> retry_span;
   for (int attempt = 1;; ++attempt) {
     const Status status =
         fetch_attempt(server, remote_path, local_path, &bytes, &streams);
@@ -167,9 +174,15 @@ Result<CopyStats> FileCopier::fetch(const net::Endpoint& server,
       return status;
     }
     fault::note_retry_attempt();
+    retry_span.emplace(obs::SpanKind::kRetry,
+                       strings::cat("copy.retry:", remote_path));
+    retry_span->add_attr("attempt", strings::cat(attempt + 1));
+    retry_span->add_attr("error", status.message());
     fault::sleep_for_model(policy.backoff(attempt, jitter_key));
   }
   const CopyStats stats{bytes, to_seconds_d(clock_.now() - start), streams};
+  copy_span.add_attr("bytes", strings::cat(stats.bytes));
+  copy_span.add_attr("streams", strings::cat(stats.streams_used));
   record_copy(stats);
   return stats;
 }
@@ -213,8 +226,12 @@ Status FileCopier::fetch_attempt(const net::Endpoint& server,
   workers.reserve(static_cast<std::size_t>(streams));
   const fault::RetryPolicy policy;
   const std::uint64_t jitter_key = fnv1a(as_bytes_view(remote_path));
+  // Stream workers inherit the copy span so their chunk spans (and the
+  // RPC hops under them) land on this transfer's subtree.
+  const obs::TraceContext trace_parent = obs::current_context();
   for (int s = 0; s < streams; ++s) {
-    workers.emplace_back([&, s] {
+    workers.emplace_back([&, s, trace_parent] {
+      obs::ScopedTraceContext trace_scope(trace_parent);
       net::RpcClient rpc(transport_, server);
       const auto fetch_chunk = [&](std::uint64_t offset,
                                    std::uint32_t length) -> Status {
@@ -253,6 +270,9 @@ Status FileCopier::fetch_attempt(const net::Endpoint& server,
         const std::uint64_t offset = index * chunk;
         const std::uint32_t length = static_cast<std::uint32_t>(
             std::min<std::uint64_t>(chunk, size - offset));
+        obs::Span chunk_span(obs::SpanKind::kChunk,
+                             strings::cat("chunk.fetch:", remote_path));
+        chunk_span.add_attr("offset", strings::cat(offset));
         // Offset-resumable: a bad chunk is simply re-requested.
         Status status = fetch_chunk(offset, length);
         for (int attempt = 1;
@@ -284,11 +304,14 @@ Status FileCopier::fetch_attempt(const net::Endpoint& server,
 Result<CopyStats> FileCopier::push(const std::string& local_path,
                                    const net::Endpoint& server,
                                    const std::string& remote_path) {
+  obs::Span copy_span(obs::SpanKind::kCopy,
+                      strings::cat("copy.push:", remote_path));
   const Duration start = clock_.now();
   const fault::RetryPolicy policy;
   const std::uint64_t jitter_key = fnv1a(as_bytes_view(remote_path));
   std::uint64_t bytes = 0;
   int streams = 0;
+  std::optional<obs::Span> retry_span;  // see fetch()
   for (int attempt = 1;; ++attempt) {
     const Status status =
         push_attempt(local_path, server, remote_path, &bytes, &streams);
@@ -297,9 +320,15 @@ Result<CopyStats> FileCopier::push(const std::string& local_path,
       return status;
     }
     fault::note_retry_attempt();
+    retry_span.emplace(obs::SpanKind::kRetry,
+                       strings::cat("copy.retry:", remote_path));
+    retry_span->add_attr("attempt", strings::cat(attempt + 1));
+    retry_span->add_attr("error", status.message());
     fault::sleep_for_model(policy.backoff(attempt, jitter_key));
   }
   const CopyStats stats{bytes, to_seconds_d(clock_.now() - start), streams};
+  copy_span.add_attr("bytes", strings::cat(stats.bytes));
+  copy_span.add_attr("streams", strings::cat(stats.streams_used));
   record_copy(stats);
   return stats;
 }
@@ -341,8 +370,10 @@ Status FileCopier::push_attempt(const std::string& local_path,
   workers.reserve(static_cast<std::size_t>(streams));
   const fault::RetryPolicy policy;
   const std::uint64_t jitter_key = fnv1a(as_bytes_view(remote_path));
+  const obs::TraceContext trace_parent = obs::current_context();
   for (int s = 0; s < streams; ++s) {
-    workers.emplace_back([&, s] {
+    workers.emplace_back([&, s, trace_parent] {
+      obs::ScopedTraceContext trace_scope(trace_parent);
       net::RpcClient rpc(transport_, server);
       Bytes buffer(chunk);
       const auto push_chunk = [&](std::uint64_t offset,
@@ -385,6 +416,9 @@ Status FileCopier::push_attempt(const std::string& local_path,
         const std::uint64_t offset = index * chunk;
         const std::size_t length = static_cast<std::size_t>(
             std::min<std::uint64_t>(chunk, size - offset));
+        obs::Span chunk_span(obs::SpanKind::kChunk,
+                             strings::cat("chunk.push:", remote_path));
+        chunk_span.add_attr("offset", strings::cat(offset));
         Status status = push_chunk(offset, length);
         for (int attempt = 1;
              !status.is_ok() && chunk_retryable(status.code()) &&

@@ -7,6 +7,7 @@
 #include "src/common/strings.h"
 #include "src/desim/predict.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 
 namespace griddles::workflow {
 
@@ -54,6 +55,10 @@ Result<ScheduleResult> Scheduler::schedule(
   for (const std::string& machine : candidates) {
     GL_RETURN_IF_ERROR(testbed::find_machine(machine).status());
   }
+  obs::Span schedule_span(obs::SpanKind::kSchedule,
+                          strings::cat("schedule:", name));
+  schedule_span.add_attr("candidates", strings::cat(candidates.size()));
+  schedule_span.add_attr("depth", strings::cat(pipeline.size()));
   SchedMetrics::get().pipeline_depth.set(
       static_cast<std::int64_t>(pipeline.size()));
   const WallClock::time_point dispatch_start = WallClock::now();

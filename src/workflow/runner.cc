@@ -12,6 +12,7 @@
 #include "src/gns/replicated.h"
 #include "src/gns/service.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/remote/copier.h"
 #include "src/vfs/local_client.h"
 #include "src/workflow/checkpoint.h"
@@ -165,6 +166,13 @@ Result<WorkflowReport> WorkflowRunner::run(const WorkflowSpec& spec,
   static std::atomic<std::uint64_t> run_counter{0};
   ctx.run_tag = strings::cat(spec.name, "-", run_counter.fetch_add(1));
 
+  // The root of this run's trace: everything below — stages, opens,
+  // copies, RPC hops, retries — parents back to this span.
+  obs::Span workflow_span(obs::SpanKind::kWorkflow,
+                          strings::cat("workflow:", spec.name));
+  workflow_span.add_attr("mode", coupling_mode_name(options.mode));
+  workflow_span.add_attr("tasks", strings::cat(spec.tasks.size()));
+
   for (const TaskSpec& task : spec.tasks) {
     if (!ctx.dirs.contains(task.machine)) {
       GL_ASSIGN_OR_RETURN(ctx.dirs[task.machine],
@@ -232,6 +240,10 @@ Result<WorkflowReport> WorkflowRunner::run(const WorkflowSpec& spec,
           GL_LOG(kWarn, "stage ", producer.kernel.name, " failed (",
                  attempt.status(), "); re-running");
           stage_reruns_counter().add();
+          obs::Span rerun_span(obs::SpanKind::kRetry,
+                               strings::cat("stage.rerun:",
+                                            producer.kernel.name));
+          rerun_span.add_attr("error", attempt.status().message());
           attempt = run_task(spec, index, options, ctx);
         }
         GL_ASSIGN_OR_RETURN(result, std::move(attempt));
@@ -296,8 +308,12 @@ Result<WorkflowReport> WorkflowRunner::run(const WorkflowSpec& spec,
     std::vector<Result<TaskResult>> results(
         spec.tasks.size(), Result<TaskResult>(internal_error("not run")));
     threads.reserve(spec.tasks.size());
+    // Trace context is thread-local: capture the workflow span here and
+    // install it in each stage thread so stage spans parent correctly.
+    const obs::TraceContext trace_parent = obs::current_context();
     for (std::size_t index = 0; index < spec.tasks.size(); ++index) {
       threads.emplace_back([&, index] {
+        obs::ScopedTraceContext trace_scope(trace_parent);
         results[index] = run_task(spec, index, options, ctx);
         // Publish completion markers so tailing readers can see EOF.
         if (options.mode == CouplingMode::kConcurrentFiles &&
@@ -475,6 +491,9 @@ Result<TaskResult> WorkflowRunner::run_task(const WorkflowSpec& spec,
                                             const Options& options,
                                             RunContext& ctx) {
   const TaskSpec& task = spec.tasks[index];
+  obs::Span stage_span(obs::SpanKind::kStage,
+                       strings::cat("stage:", task.kernel.name));
+  stage_span.add_attr("machine", task.machine);
   GL_ASSIGN_OR_RETURN(testbed::MachineRuntime* machine,
                       testbed_.machine(task.machine));
   auto transport = testbed_.transport(task.machine);
@@ -621,6 +640,12 @@ Status WorkflowRunner::recover_failed_tasks(
     GL_LOG(kWarn, "re-running stage ", task.kernel.name, " (",
            results[index].status(), ")");
     stage_reruns_counter().add();
+    // The recovery re-run (and the copies that re-ship its outputs)
+    // shows up as one child span on the timeline.
+    obs::Span recovery_span(obs::SpanKind::kRecovery,
+                            strings::cat("stage.recover:",
+                                         task.kernel.name));
+    recovery_span.add_attr("error", results[index].status().message());
     GL_ASSIGN_OR_RETURN(TaskResult result, run_task(spec, index, options,
                                                     ctx));
     // Ship re-staged outputs to re-run consumers on other machines.

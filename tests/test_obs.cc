@@ -183,6 +183,8 @@ TEST(TracerTest, SpanJsonLineHasEveryField) {
   span.mode = "buffer";
   span.open_s = 1.5;
   span.close_s = 9.25;
+  span.wall_open_s = 0.25;
+  span.wall_close_s = 0.75;
   span.bytes_read = 10;
   span.bytes_written = 20;
   span.reads = 1;
@@ -194,6 +196,7 @@ TEST(TracerTest, SpanJsonLineHasEveryField) {
   EXPECT_EQ(line,
             "{\"host\":\"jagan\",\"path\":\"/data/OUT.DAT\","
             "\"mode\":\"buffer\",\"open_s\":1.5,\"close_s\":9.25,"
+            "\"wall_open_s\":0.25,\"wall_close_s\":0.75,"
             "\"bytes_read\":10,\"bytes_written\":20,\"reads\":1,"
             "\"writes\":2,\"seeks\":3,\"read_wait_s\":0.5,\"faults\":4}");
 }

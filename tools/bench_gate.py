@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: compare fresh bench JSON against baselines.
+
+Each bench writes `BENCH_<name>.json` with a `times` object of headline
+metrics in model seconds (see bench/table_common.h). Committed baselines
+live in `bench/baselines/BENCH_<name>.json` — captured from a `--fast`
+run on CI-class hardware. Because the benches report *model* time on a
+scaled deterministic clock, run-to-run noise is small and a fixed
+relative threshold is meaningful.
+
+For every fresh file with a matching baseline, the gate fails (exit 1)
+when any shared headline metric regresses by more than the threshold:
+
+    fresh > baseline * (1 + tolerance)       # default tolerance 0.10
+
+Improvements and new metrics never fail; a baseline metric missing from
+the fresh run fails (a silently dropped measurement is a regression of
+the measurement, which is exactly what this gate exists to catch).
+Fresh files with no baseline are reported and skipped, so adding a bench
+does not require a baseline in the same change.
+
+Usage:
+    python3 tools/bench_gate.py BENCH_table3.json [BENCH_*.json ...]
+    python3 tools/bench_gate.py --baseline-dir bench/baselines --tolerance 0.10 ...
+    python3 tools/bench_gate.py --self-test
+
+Exit status: 0 all gated metrics within tolerance, 1 regression or
+missing metric, 2 usage/IO errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE_DIR = REPO / "bench" / "baselines"
+
+
+def load_bench(path):
+    """Reads one BENCH_*.json; returns (bench_name, times dict)."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    name = doc.get("bench")
+    times = doc.get("times")
+    if not isinstance(name, str) or not isinstance(times, dict):
+        raise ValueError(f"{path}: missing 'bench' or 'times'")
+    return name, {k: float(v) for k, v in times.items()}
+
+
+def compare(name, baseline, fresh, tolerance):
+    """Returns a list of failure strings (empty = metric set passes)."""
+    failures = []
+    for key in sorted(baseline):
+        base = baseline[key]
+        if key not in fresh:
+            failures.append(
+                f"{name}/{key}: present in baseline but missing from the "
+                f"fresh run")
+            continue
+        got = fresh[key]
+        limit = base * (1.0 + tolerance)
+        if got > limit and got - base > 1e-12:
+            pct = 100.0 * (got - base) / base if base != 0 else float("inf")
+            failures.append(
+                f"{name}/{key}: {got:.6g} vs baseline {base:.6g} "
+                f"(+{pct:.1f}%, limit +{100 * tolerance:.0f}%)")
+    return failures
+
+
+def run_gate(fresh_paths, baseline_dir, tolerance):
+    baseline_dir = pathlib.Path(baseline_dir)
+    failures = []
+    gated = 0
+    for path in fresh_paths:
+        try:
+            name, fresh = load_bench(path)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"bench_gate: cannot read {path}: {error}",
+                  file=sys.stderr)
+            return 2
+        base_path = baseline_dir / f"BENCH_{name}.json"
+        if not base_path.exists():
+            print(f"bench_gate: no baseline for '{name}' "
+                  f"({base_path}) — skipped")
+            continue
+        try:
+            base_name, baseline = load_bench(base_path)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"bench_gate: bad baseline {base_path}: {error}",
+                  file=sys.stderr)
+            return 2
+        if base_name != name:
+            print(f"bench_gate: baseline {base_path} names "
+                  f"'{base_name}', expected '{name}'", file=sys.stderr)
+            return 2
+        gated += 1
+        found = compare(name, baseline, fresh, tolerance)
+        failures.extend(found)
+        verdict = "FAIL" if found else "ok"
+        print(f"bench_gate: {name}: {len(baseline)} gated metrics "
+              f"[{verdict}]")
+    for line in failures:
+        print(f"bench_gate: REGRESSION {line}", file=sys.stderr)
+    if gated == 0:
+        print("bench_gate: nothing gated (no baselines matched)")
+    return 1 if failures else 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: synthetic baseline vs a 20% regression, an improvement, and
+# a dropped metric — all three paths the gate must distinguish.
+# ---------------------------------------------------------------------------
+
+def self_test():
+    import tempfile
+
+    baseline = {"bench": "selftest",
+                "times": {"gb_s": 100.0, "copy_s": 50.0, "local_s": 10.0}}
+
+    def check(times, want_exit, label):
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp = pathlib.Path(tmp)
+            (tmp / "baselines").mkdir()
+            with open(tmp / "baselines" / "BENCH_selftest.json", "w",
+                      encoding="utf-8") as fh:
+                json.dump(baseline, fh)
+            fresh_path = tmp / "BENCH_selftest.json"
+            with open(fresh_path, "w", encoding="utf-8") as fh:
+                json.dump({"bench": "selftest", "times": times}, fh)
+            got = run_gate([str(fresh_path)], tmp / "baselines", 0.10)
+            assert got == want_exit, (
+                f"{label}: exit {got}, want {want_exit}")
+
+    # Identical run passes.
+    check(dict(baseline["times"]), 0, "identical")
+    # 20% regression on one metric fails.
+    check({"gb_s": 120.0, "copy_s": 50.0, "local_s": 10.0}, 1,
+          "20% regression")
+    # Within-tolerance drift (+5%) passes.
+    check({"gb_s": 105.0, "copy_s": 50.0, "local_s": 10.0}, 0,
+          "+5% drift")
+    # Improvement passes.
+    check({"gb_s": 80.0, "copy_s": 40.0, "local_s": 9.0}, 0, "improvement")
+    # Dropped metric fails.
+    check({"gb_s": 100.0, "copy_s": 50.0}, 1, "dropped metric")
+    # Extra metric with no baseline entry passes.
+    check({"gb_s": 100.0, "copy_s": 50.0, "local_s": 10.0,
+           "new_s": 1.0}, 0, "new metric")
+
+    # A fresh file with no baseline is skipped, not failed.
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = pathlib.Path(tmp)
+        (tmp / "baselines").mkdir()
+        fresh_path = tmp / "BENCH_unbaselined.json"
+        with open(fresh_path, "w", encoding="utf-8") as fh:
+            json.dump({"bench": "unbaselined", "times": {"x": 1.0}}, fh)
+        assert run_gate([str(fresh_path)], tmp / "baselines", 0.10) == 0
+
+    print("bench_gate self-test OK")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", nargs="*", metavar="BENCH_*.json",
+                        help="fresh bench JSON files to gate")
+    parser.add_argument("--baseline-dir", default=str(DEFAULT_BASELINE_DIR),
+                        help="directory of committed BENCH_*.json baselines")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        metavar="FRAC",
+                        help="allowed relative regression (default 0.10)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in synthetic-regression check")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.fresh:
+        parser.error("at least one fresh BENCH_*.json is required "
+                     "(or --self-test)")
+    if args.tolerance < 0:
+        parser.error("--tolerance must be >= 0")
+    return run_gate(args.fresh, args.baseline_dir, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,14 @@ Checks (all over src/, headers and sources):
                      (work distribution, id generation, flow control)
                      justify with `// lint: not-a-metric (<why>)` on
                      the same line or the line directly above.
+  naked-span         No SpanRecord handling outside src/obs/: a span
+                     begun without a guaranteed end leaves a half-open
+                     timeline, so instrumentation sites use the RAII
+                     obs::Span helper (src/obs/span.h). Deliberate raw
+                     handling (re-recording drained spans, custom
+                     exporters) justifies with
+                     `// lint: span-raii (<why>)` on the same line or
+                     the line directly above.
   format             clang-format --dry-run over src/ tests/ tools/ bench/
                      (skipped with a notice when clang-format is absent).
 
@@ -86,6 +94,8 @@ INTEGRAL_ATOMIC = re.compile(
     r"(?:u?int(?:8|16|32|64)?_t|size_t|ptrdiff_t|int|unsigned|long|short)"
 )
 NOT_A_METRIC = re.compile(r"//\s*lint:\s*not-a-metric\b")
+NAKED_SPAN = re.compile(r"\bSpanRecord\b")
+SPAN_RAII_OK = re.compile(r"//\s*lint:\s*span-raii\b")
 ALLOW_DISCARD = re.compile(r"//\s*lint:allow-discarded-status")
 FN_DECL = re.compile(
     r"^\s*(?:virtual\s+)?(?:static\s+)?"
@@ -198,6 +208,25 @@ def check_raw_atomic_counters(path: str, lines: list[str]) -> list[Finding]:
                 "integral std::atomic outside src/obs/: use obs::Counter/"
                 "obs::Gauge from the metrics registry, or justify with "
                 "'// lint: not-a-metric (<why>)'"))
+    return out
+
+
+def check_naked_spans(path: str, lines: list[str]) -> list[Finding]:
+    if path.startswith("src/obs/"):
+        return []
+    out = []
+    for i, line in enumerate(lines, 1):
+        code = strip_comments_and_strings(line)
+        if not NAKED_SPAN.search(code):
+            continue
+        excused = SPAN_RAII_OK.search(line) or (
+            i >= 2 and SPAN_RAII_OK.search(lines[i - 2]))
+        if not excused:
+            out.append(Finding(
+                "naked-span", path, i,
+                "raw SpanRecord outside src/obs/: use the RAII obs::Span "
+                "helper so every span is closed and recorded, or justify "
+                "with '// lint: span-raii (<why>)'"))
     return out
 
 
@@ -354,6 +383,7 @@ def run_checks(files: dict[str, list[str]],
             findings.extend(check_mutex_annotations(path, lines))
             findings.extend(check_naked_locks(path, lines))
             findings.extend(check_raw_atomic_counters(path, lines))
+            findings.extend(check_naked_spans(path, lines))
             findings.extend(check_discarded_status(path, lines, status_fns,
                                                    class_status))
     if with_format:
@@ -380,6 +410,11 @@ def self_test() -> int:
         "src/selftest/drop.cc": ["void g() {", "  do_thing(1);", "}"],
         "src/selftest/counter.cc": [
             "std::atomic<std::uint64_t> requests{0};"],
+        "src/selftest/span.cc": [
+            "void f() {",
+            "  obs::SpanRecord record;",
+            "  obs::SpanCollector::global().record(std::move(record));",
+            "}"],
         # Ambiguous name (STL collision) caught via receiver resolution.
         "src/selftest/conn.h": [
             "class Conn {",
@@ -413,7 +448,15 @@ def self_test() -> int:
             "// lint: not-a-metric (sequence number)",
             "std::atomic<std::uint64_t> seq_{0};"],
         "src/obs/ok.cc": [
-            "std::atomic<std::uint64_t> value_{0};"],
+            "std::atomic<std::uint64_t> value_{0};",
+            # src/obs/ owns the record type; raw handling is its job.
+            "SpanRecord record;"],
+        "src/selftest_span/ok.cc": [
+            "void g() {",
+            "  obs::Span span(obs::SpanKind::kStage, \"stage:x\");",
+            "  // lint: span-raii (re-records drained spans in a test)",
+            "  for (obs::SpanRecord& r : drained) collector.record(r);",
+            "}"],
         # The lockdep implementation is the one sanctioned raw-primitive
         # user outside the annotations header.
         "src/common/lockdep.cc": [
@@ -438,7 +481,7 @@ def self_test() -> int:
     findings = run_checks({**bad, **good}, with_format=False)
     fired = {f.check for f in findings}
     expected = {"raw-primitive", "mutex-annotation", "naked-lock",
-                "discarded-status", "raw-atomic-counter"}
+                "discarded-status", "raw-atomic-counter", "naked-span"}
     ok = True
     for check in sorted(expected):
         if check not in fired:
