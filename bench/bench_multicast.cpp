@@ -1,0 +1,170 @@
+// Multicast distribution bench (DESIGN.md §12): stage one file from a
+// source to N=100 consumers, naively (N point-to-point pushes) and
+// through the bounded-fanout relay tree, on a modelled WAN where every
+// host pair shares a 10 MB/s, 10 ms link.
+//
+// The headline is source-side egress: naive sends the file N times from
+// the source's uplink; the tree sends it root_fanout (= 2) times and
+// lets the relays' links carry the rest. `BENCH_multicast.json` records
+// both ratios (exact, deterministic) and both model-time makespans.
+//
+//   ./bench_multicast [--fast] [--spans=<file|->]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/table_common.h"
+#include "src/common/tempfile.h"
+#include "src/multicast/dist_tree.h"
+#include "src/net/inproc.h"
+#include "src/remote/copier.h"
+#include "src/remote/file_server.h"
+#include "src/vfs/local_client.h"
+
+using namespace griddles;
+
+namespace {
+
+Bytes pattern(std::size_t n) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::byte>(i * 131 + 7);
+  }
+  return out;
+}
+
+std::string host_name(int i) {
+  char buffer[8];
+  std::snprintf(buffer, sizeof buffer, "n%03d", i);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::TableConfig config =
+      bench::TableConfig::from_args(argc, argv);
+  bool fast = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+  }
+
+  constexpr int kDestinations = 100;
+  const std::size_t file_bytes = fast ? 64 * 1024 : 4 * 1024 * 1024;
+  const std::uint32_t chunk = fast ? 16 * 1024 : 256 * 1024;
+  // Model seconds run this much faster than wall: the full-size naive
+  // leg (~40 model seconds of WAN transmit) finishes in tens of ms.
+  ScaledClock clock(fast ? 1.0 / 4000.0 : 1.0 / 1000.0);
+
+  struct ModelClockScope {
+    explicit ModelClockScope(const Clock* model_clock) {
+      if (obs::SpanCollector::global().enabled()) {
+        obs::SpanCollector::global().set_model_clock(model_clock);
+      }
+    }
+    ~ModelClockScope() {
+      obs::SpanCollector::global().set_model_clock(nullptr);
+    }
+  } model_clock_scope(&clock);
+
+  net::InProcNetwork network(clock);
+  net::LinkModel wan;
+  wan.latency = std::chrono::milliseconds(10);
+  wan.bandwidth_bytes_per_sec = 10e6;
+  network.links().set_default(wan);
+
+  auto scratch = TempDir::create("bench-multicast");
+  if (!scratch.is_ok()) {
+    std::fprintf(stderr, "scratch: %s\n",
+                 scratch.status().to_string().c_str());
+    return 1;
+  }
+
+  auto source_transport = network.transport("src");
+  std::vector<std::unique_ptr<net::Transport>> transports;
+  std::vector<std::unique_ptr<remote::FileServer>> servers;
+  std::vector<remote::MultiCopyTarget> targets;
+  for (int i = 0; i < kDestinations; ++i) {
+    const std::string host = host_name(i);
+    transports.push_back(network.transport(host));
+    servers.push_back(std::make_unique<remote::FileServer>(
+        scratch->file("export-" + host), *transports.back(),
+        net::inproc_endpoint(host, "fs")));
+    if (!servers.back()->start().is_ok()) {
+      std::fprintf(stderr, "cannot start file server on %s\n",
+                   host.c_str());
+      return 1;
+    }
+    targets.push_back(
+        {host, servers.back()->endpoint(), "stage/pay.bin"});
+  }
+
+  const std::string local = scratch->file("pay.bin").string();
+  if (!vfs::write_file(local, pattern(file_bytes)).is_ok()) {
+    std::fprintf(stderr, "cannot write source file\n");
+    return 1;
+  }
+
+  // Every pair shares the same WAN model, so the estimator is flat; the
+  // tree's shape comes from the fanout bounds.
+  const multicast::PairEstimator estimator =
+      [](const std::string&, const std::string&)
+      -> Result<nws::LinkEstimate> {
+    return nws::LinkEstimate{0.01, 10e6};
+  };
+
+  remote::FileCopier::Options copier_options;
+  copier_options.chunk_size = chunk;
+  remote::FileCopier copier(*source_transport, clock, copier_options);
+
+  bench::print_header("Multicast", "1 source -> 100 consumers");
+  std::printf("(%zu KiB file, %u KiB chunks, 10 MB/s / 10 ms links)\n\n",
+              file_bytes / 1024, chunk / 1024);
+
+  // Naive: one push per destination, back to back — N x file_bytes off
+  // the source's uplink.
+  const Duration naive_start = clock.now();
+  for (const remote::MultiCopyTarget& target : targets) {
+    auto stats = copier.push(local, target.endpoint, target.remote_path);
+    if (!stats.is_ok()) {
+      std::fprintf(stderr, "naive push to %s: %s\n", target.host.c_str(),
+                   stats.status().to_string().c_str());
+      return 1;
+    }
+  }
+  const double naive_s = to_seconds_d(clock.now() - naive_start);
+  const double naive_ratio = kDestinations;
+
+  // Tree: same destinations through copy_to_many.
+  const Duration tree_start = clock.now();
+  auto stats = copier.copy_to_many(local, targets, {}, estimator);
+  if (!stats.is_ok()) {
+    std::fprintf(stderr, "copy_to_many: %s\n",
+                 stats.status().to_string().c_str());
+    return 1;
+  }
+  const double multicast_s = to_seconds_d(clock.now() - tree_start);
+  const double multicast_ratio =
+      static_cast<double>(stats->source_bytes_sent) /
+      static_cast<double>(file_bytes);
+
+  std::printf("%-22s %12s %18s\n", "", "model time", "source egress");
+  std::printf("%-22s %10.2f s %15.1f x file\n", "naive (100 pushes)",
+              naive_s, naive_ratio);
+  std::printf("%-22s %10.2f s %15.1f x file\n", "multicast tree",
+              multicast_s, multicast_ratio);
+  std::printf("\ntree depth %d, %d destinations, %d re-parents\n",
+              stats->tree_depth, stats->destinations, stats->reparents);
+
+  bench::BenchJson json("multicast");
+  json.add_time("naive_s", naive_s);
+  json.add_time("multicast_s", multicast_s);
+  json.add_time("naive_source_ratio", naive_ratio);
+  json.add_time("multicast_source_ratio", multicast_ratio);
+  const bool wrote_json = json.write();
+  const bool wrote_spans = bench::write_spans(config);
+
+  for (auto& server : servers) server->stop();
+  return wrote_json && wrote_spans ? 0 : 1;
+}

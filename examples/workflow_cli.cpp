@@ -110,6 +110,7 @@ struct CliOptions {
   std::string fault_spec;
   std::string checkpoint_path;
   std::string scratch_dir;
+  int fanout = -1;  // --fanout= override; -1 defers to workflow.fanout
 };
 
 Result<int> run_from_config(const Config& config, const CliOptions& cli) {
@@ -223,6 +224,12 @@ Result<int> run_from_config(const Config& config, const CliOptions& cli) {
   options.mode = mode;
   options.gns_replicas = static_cast<int>(
       config.get_int_or("workflow.gns_replicas", 1));
+  // Multicast relay fanout: --fanout= beats the ini key; 0 disables.
+  options.multicast_fanout =
+      cli.fanout >= 0
+          ? cli.fanout
+          : static_cast<int>(config.get_int_or(
+                "workflow.fanout", options.multicast_fanout));
   options.checkpoint_path = cli.checkpoint_path;
 
   std::printf("running '%s' (%s, %.0fx time compression)...\n",
@@ -332,6 +339,8 @@ int main(int argc, char** argv) {
       cli.fault_spec = arg.substr(9);
     } else if (strings::starts_with(arg, "--checkpoint=")) {
       cli.checkpoint_path = arg.substr(13);
+    } else if (strings::starts_with(arg, "--fanout=")) {
+      cli.fanout = std::atoi(arg.c_str() + 9);
     } else if (strings::starts_with(arg, "--scratch=")) {
       cli.scratch_dir = arg.substr(10);
     } else if (input.empty()) {
@@ -345,7 +354,7 @@ int main(int argc, char** argv) {
                  "usage: %s [--metrics=<file|->] [--trace=<file|->] "
                  "[--spans=<file|->] [--faults=<spec>] "
                  "[--checkpoint=<file>] [--scratch=<dir>] "
-                 "<workflow.ini> | --demo\n",
+                 "[--fanout=<n>] <workflow.ini> | --demo\n",
                  argv[0]);
     return 2;
   }

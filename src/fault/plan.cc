@@ -71,6 +71,7 @@ std::string_view site_name(Site site) noexcept {
     case Site::kPeer: return "peer";
     case Site::kGns: return "gns";
     case Site::kNws: return "nws";
+    case Site::kRelay: return "relay";
   }
   return "?";
 }
@@ -111,6 +112,7 @@ Result<Site> parse_site(std::string_view name) {
   if (name == "peer") return Site::kPeer;
   if (name == "gns") return Site::kGns;
   if (name == "nws") return Site::kNws;
+  if (name == "relay") return Site::kRelay;
   if (name == "host") return Site::kRpc;  // crash@host keys on RPC dst
   return invalid_argument(strings::cat("fault spec: unknown site '", name,
                                        "'"));
@@ -257,8 +259,9 @@ Decision Plan::consult(Site site, std::string_view key,
         break;
       case Op::kPeerDeath:
         // At control-plane sites `die` means the service is permanently
-        // down (no bytes flow through a lookup or probe); elsewhere it
-        // keys on the channel high-water mark.
+        // down (no bytes flow through a lookup or probe); elsewhere —
+        // buffer channels and relay hops — it keys on the cumulative
+        // byte high-water mark.
         fires = (site == Site::kGns || site == Site::kNws)
                     ? true
                     : bytes >= rule.after_bytes;
@@ -280,13 +283,15 @@ Decision Plan::consult(Site site, std::string_view key,
     }
     if (!fires) continue;
 
-    // Crash state — and a dead control-plane service — is permanent, so
-    // don't count it against max_fires: every call to a dead host (or
-    // lookup against a dead replica) must keep failing.
+    // Crash state — and a dead control-plane service or relay — is
+    // permanent, so don't count it against max_fires: every call to a
+    // dead host (or lookup against a dead replica, or block through a
+    // dead relay) must keep failing.
     const bool permanent =
         rule.op == Op::kCrash ||
         (rule.op == Op::kPeerDeath &&
-         (site == Site::kGns || site == Site::kNws));
+         (site == Site::kGns || site == Site::kNws ||
+          site == Site::kRelay));
     if (!permanent) ++state.fires;
     FaultMetrics::get().for_op(rule.op).add();
     log_.push_back(strings::cat(op_name(rule.op), "@", site_name(site), ":",

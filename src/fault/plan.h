@@ -47,13 +47,19 @@ enum class Op : std::uint8_t {
 std::string_view op_name(Op op) noexcept;
 
 /// Where a hook sits. The site picks the key vocabulary:
-///   kRpc  — "src>dst" host pair of a client call
-///   kLink — "src>dst" host pair of a modelled link message
-///   kCopy — remote path of a staged-copy chunk
-///   kPeer — Grid Buffer channel name
-///   kGns  — GNS replica name of one lookup attempt
-///   kNws  — NWS probe target host
-enum class Site : std::uint8_t { kRpc, kLink, kCopy, kPeer, kGns, kNws };
+///   kRpc   — "src>dst" host pair of a client call
+///   kLink  — "src>dst" host pair of a modelled link message
+///   kCopy  — remote path of a staged-copy chunk
+///   kPeer  — Grid Buffer channel name
+///   kGns   — GNS replica name of one lookup attempt
+///   kNws   — NWS probe target host
+///   kRelay — host of a multicast relay hop (`die@relay:<host>` kills the
+///            relay function once its cumulative forwarded bytes reach
+///            `after=`; direct chunk service stays up, so the parent
+///            adopts the subtree and the source repairs the host direct)
+enum class Site : std::uint8_t {
+  kRpc, kLink, kCopy, kPeer, kGns, kNws, kRelay,
+};
 
 std::string_view site_name(Site site) noexcept;
 

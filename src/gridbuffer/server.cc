@@ -1,9 +1,34 @@
 #include "src/gridbuffer/server.h"
 
+#include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/obs/span.h"
 #include "src/xdr/codec.h"
 
 namespace griddles::gridbuffer {
+
+namespace {
+/// One kRelayWrite request: the receiver's subtree, the channel config
+/// its machine opens locally, and the block.
+Bytes relay_write_request(const multicast::RelayNode& node,
+                          const ChannelConfig& config, std::uint64_t offset,
+                          ByteSpan data) {
+  xdr::Encoder enc;
+  multicast::encode_node(enc, node);
+  encode_channel_config(enc, config);
+  enc.put_u64(offset);
+  enc.put_bytes(data);
+  return std::move(enc).take();
+}
+
+Bytes relay_close_request(const multicast::RelayNode& node,
+                          const ChannelConfig& config) {
+  xdr::Encoder enc;
+  multicast::encode_node(enc, node);
+  encode_channel_config(enc, config);
+  return std::move(enc).take();
+}
+}  // namespace
 
 void encode_channel_config(xdr::Encoder& enc, const ChannelConfig& config) {
   enc.put_u32(config.block_size);
@@ -29,8 +54,16 @@ GridBufferServer::GridBufferServer(std::string cache_dir,
                                    net::Endpoint bind,
                                    net::WireFormat format)
     : store_(std::move(cache_dir)),
-      rpc_(transport, std::move(bind), format) {
+      rpc_(transport, std::move(bind), format),
+      forwarder_(transport) {
   register_handlers();
+}
+
+void GridBufferServer::set_broadcast(
+    const std::string& channel, const ChannelConfig& config,
+    std::vector<multicast::RelayNode> children) {
+  MutexLock lock(mu_);
+  broadcast_[channel] = Broadcast{config, std::move(children)};
 }
 
 GridBufferServer::~GridBufferServer() { stop(); }
@@ -64,6 +97,32 @@ void GridBufferServer::register_handlers() {
         GL_ASSIGN_OR_RETURN(const Bytes data, dec.bytes());
         GL_ASSIGN_OR_RETURN(auto chan, store_.find(channel));
         GL_RETURN_IF_ERROR(chan->write(offset, data));
+        // Broadcast channels also fan the block out down the relay tree.
+        // The route is copied under the lock; the forwards block outside.
+        std::vector<multicast::RelayNode> children;
+        ChannelConfig fan_config;
+        {
+          MutexLock lock(mu_);
+          const auto it = broadcast_.find(channel);
+          if (it != broadcast_.end()) {
+            children = it->second.children;
+            fan_config = it->second.config;
+          }
+        }
+        if (!children.empty()) {
+          std::vector<std::string> dead;
+          multicast::relay_block(
+              forwarder_, children, method_id(Method::kRelayWrite),
+              [&](const multicast::RelayNode& child) {
+                return relay_write_request(child, fan_config, offset, data);
+              },
+              dead);
+          if (!dead.empty()) {
+            GL_LOG(kWarn, "grid buffer broadcast ", channel, ": ",
+                   dead.size(), " machine(s) unreachable; their local ",
+                   "readers will miss this block");
+          }
+        }
         return Bytes{};
       });
   rpc_.register_method(
@@ -73,6 +132,29 @@ void GridBufferServer::register_handlers() {
         GL_ASSIGN_OR_RETURN(const std::string channel, dec.string());
         GL_ASSIGN_OR_RETURN(auto chan, store_.find(channel));
         chan->close_writer();
+        std::vector<multicast::RelayNode> children;
+        ChannelConfig fan_config;
+        {
+          MutexLock lock(mu_);
+          const auto it = broadcast_.find(channel);
+          if (it != broadcast_.end()) {
+            children = it->second.children;
+            fan_config = it->second.config;
+          }
+        }
+        if (!children.empty()) {
+          std::vector<std::string> dead;
+          multicast::relay_block(
+              forwarder_, children, method_id(Method::kRelayClose),
+              [&](const multicast::RelayNode& child) {
+                return relay_close_request(child, fan_config);
+              },
+              dead);
+          if (!dead.empty()) {
+            GL_LOG(kWarn, "grid buffer broadcast ", channel, ": close did ",
+                   "not reach ", dead.size(), " machine(s)");
+          }
+        }
         return Bytes{};
       });
   rpc_.register_method(
@@ -138,6 +220,74 @@ void GridBufferServer::register_handlers() {
         GL_ASSIGN_OR_RETURN(const std::string channel, dec.string());
         GL_RETURN_IF_ERROR(store_.remove(channel));
         return Bytes{};
+      });
+  rpc_.register_method(
+      method_id(Method::kRelayWrite),
+      [this](ByteSpan request, const net::RpcContext&) -> Result<Bytes> {
+        xdr::Decoder dec(request);
+        GL_ASSIGN_OR_RETURN(const multicast::RelayNode node,
+                            multicast::decode_node(dec));
+        GL_ASSIGN_OR_RETURN(ChannelConfig config,
+                            decode_channel_config(dec));
+        GL_ASSIGN_OR_RETURN(const std::uint64_t offset, dec.u64());
+        GL_ASSIGN_OR_RETURN(const Bytes data, dec.bytes());
+
+        const std::string host = rpc_.endpoint().host;
+        obs::Span span(obs::SpanKind::kRelay, strings::cat("relay:", host));
+        span.add_attr("channel", node.path);
+        span.add_attr("children", strings::cat(node.children.size()));
+
+        const std::uint64_t cumulative =
+            relayed_bytes_.fetch_add(data.size(),
+                                     std::memory_order_relaxed) +
+            data.size();
+        GL_RETURN_IF_ERROR(
+            multicast::consult_relay_fault(host, cumulative));
+
+        // Same channel, node-local reader count: the store only requires
+        // block_size/cache agreement across machines.
+        if (node.readers != 0) config.expected_readers = node.readers;
+        GL_ASSIGN_OR_RETURN(auto chan, store_.open(node.path, config));
+        GL_RETURN_IF_ERROR(chan->write(offset, data));
+
+        std::vector<std::string> dead;
+        multicast::relay_block(
+            forwarder_, node.children, method_id(Method::kRelayWrite),
+            [&](const multicast::RelayNode& child) {
+              return relay_write_request(child, config, offset, data);
+            },
+            dead);
+        xdr::Encoder enc;
+        multicast::encode_dead_hosts(enc, dead);
+        return std::move(enc).take();
+      });
+  rpc_.register_method(
+      method_id(Method::kRelayClose),
+      [this](ByteSpan request, const net::RpcContext&) -> Result<Bytes> {
+        xdr::Decoder dec(request);
+        GL_ASSIGN_OR_RETURN(const multicast::RelayNode node,
+                            multicast::decode_node(dec));
+        GL_ASSIGN_OR_RETURN(ChannelConfig config,
+                            decode_channel_config(dec));
+
+        const std::string host = rpc_.endpoint().host;
+        GL_RETURN_IF_ERROR(multicast::consult_relay_fault(
+            host, relayed_bytes_.load(std::memory_order_relaxed)));
+
+        if (node.readers != 0) config.expected_readers = node.readers;
+        GL_ASSIGN_OR_RETURN(auto chan, store_.open(node.path, config));
+        chan->close_writer();
+
+        std::vector<std::string> dead;
+        multicast::relay_block(
+            forwarder_, node.children, method_id(Method::kRelayClose),
+            [&](const multicast::RelayNode& child) {
+              return relay_close_request(child, config);
+            },
+            dead);
+        xdr::Encoder enc;
+        multicast::encode_dead_hosts(enc, dead);
+        return std::move(enc).take();
       });
 }
 

@@ -7,9 +7,15 @@
 // the two).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/gridbuffer/channel.h"
+#include "src/multicast/relay.h"
 #include "src/net/rpc.h"
 #include "src/xdr/codec.h"
 
@@ -26,6 +32,11 @@ enum class Method : std::uint16_t {
   kCloseRead = 6,   // (channel, reader_id)
   kStat = 7,        // (channel, wait_for_eof, deadline_ms) -> eof, frontier
   kRemove = 8,      // (channel)
+  kRelayWrite = 9,  // (subtree, config, offset, bytes) -> dead hosts:
+                    // open+write the block locally, forward it down the
+                    // subtree (broadcast relay hop, DESIGN.md §12)
+  kRelayClose = 10, // (subtree, config) -> dead hosts: close the local
+                    // writer, forward the close down the subtree
 };
 
 constexpr std::uint16_t method_id(Method m) {
@@ -51,11 +62,32 @@ class GridBufferServer {
   net::Endpoint endpoint() const { return rpc_.endpoint(); }
   ChannelStore& store() noexcept { return store_; }
 
+  /// Turns `channel` into a broadcast channel on this server: every
+  /// kWrite is also fanned out to `children` (kRelayWrite hops carrying
+  /// the subtree in-band) and kCloseWrite closes the whole tree. Each
+  /// subtree node opens the channel locally with `config`, overriding
+  /// expected_readers with its own node-local reader count.
+  void set_broadcast(const std::string& channel,
+                     const ChannelConfig& config,
+                     std::vector<multicast::RelayNode> children);
+
  private:
+  struct Broadcast {
+    ChannelConfig config;
+    std::vector<multicast::RelayNode> children;
+  };
+
   void register_handlers();
 
   ChannelStore store_;
   net::RpcServer rpc_;
+  multicast::RelayForwarder forwarder_;
+  /// Cumulative bytes this server forwarded as a relay — the `after=`
+  /// high-water mark of `die@relay:<host>` fault rules.
+  // lint: not-a-metric (fault-site high-water mark)
+  std::atomic<std::uint64_t> relayed_bytes_{0};
+  mutable Mutex mu_;
+  std::map<std::string, Broadcast> broadcast_ GUARDED_BY(mu_);
 };
 
 }  // namespace griddles::gridbuffer

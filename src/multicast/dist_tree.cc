@@ -1,0 +1,150 @@
+#include "src/multicast/dist_tree.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/common/strings.h"
+#include "src/obs/metrics.h"
+
+namespace griddles::multicast {
+
+namespace {
+obs::Counter& uniform_fallback_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("multicast.plan.uniform");
+  return counter;
+}
+
+/// Memoizing edge-cost oracle over the PairEstimator. A pair the
+/// estimator cannot price gets a uniform cost of 1.0 — worse than any
+/// real same-planet link estimate would be relative to its peers, but
+/// still a valid total order, so planning proceeds.
+class EdgeCosts {
+ public:
+  EdgeCosts(const PairEstimator& estimator, std::uint64_t reference_bytes)
+      : estimator_(estimator), reference_bytes_(reference_bytes) {}
+
+  double cost(const std::string& src, const std::string& dst) {
+    const auto key = std::make_pair(src, dst);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    double seconds = 1.0;
+    if (estimator_) {
+      const auto estimate = estimator_(src, dst);
+      if (estimate.is_ok()) {
+        seconds = estimate->transfer_seconds(reference_bytes_);
+      } else {
+        degraded_ = true;
+      }
+    } else {
+      degraded_ = true;
+    }
+    cache_.emplace(key, seconds);
+    return seconds;
+  }
+
+  bool degraded() const { return degraded_; }
+
+ private:
+  const PairEstimator& estimator_;
+  const std::uint64_t reference_bytes_;
+  std::map<std::pair<std::string, std::string>, double> cache_;
+  bool degraded_ = false;
+};
+}  // namespace
+
+std::vector<std::string> DistTree::relay_hosts() const {
+  std::vector<std::string> hosts;
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    if (!nodes[i].children.empty()) hosts.push_back(nodes[i].host);
+  }
+  return hosts;
+}
+
+Result<DistTree> plan_tree(const std::string& source,
+                           const std::vector<std::string>& destinations,
+                           const PairEstimator& estimator,
+                           const TreeOptions& options) {
+  if (source.empty()) {
+    return invalid_argument("multicast: source host must be non-empty");
+  }
+  if (options.max_fanout < 1 || options.root_fanout < 1) {
+    return invalid_argument(
+        strings::cat("multicast: fanout must be >= 1 (max_fanout=",
+                     options.max_fanout, ", root_fanout=",
+                     options.root_fanout, ")"));
+  }
+  std::set<std::string> seen;
+  for (const std::string& destination : destinations) {
+    if (destination == source) {
+      return invalid_argument(strings::cat(
+          "multicast: source ", source, " listed as a destination"));
+    }
+    if (!seen.insert(destination).second) {
+      return invalid_argument(strings::cat(
+          "multicast: duplicate destination ", destination));
+    }
+  }
+
+  DistTree tree;
+  tree.nodes.push_back(TreeNode{source, -1, {}, 0, 0.0});
+
+  EdgeCosts costs(estimator, options.reference_bytes);
+  std::vector<std::string> unplaced = destinations;
+  while (!unplaced.empty()) {
+    // Cheapest insertion: minimize (parent path cost + edge cost) over
+    // every (attached node with spare fanout) x (unplaced destination).
+    int best_parent = -1;
+    std::size_t best_dest = 0;
+    double best_cost = 0;
+    for (std::size_t d = 0; d < unplaced.size(); ++d) {
+      for (std::size_t p = 0; p < tree.nodes.size(); ++p) {
+        const TreeNode& parent = tree.nodes[p];
+        const int fanout_limit =
+            p == 0 ? options.root_fanout : options.max_fanout;
+        if (static_cast<int>(parent.children.size()) >= fanout_limit) {
+          continue;
+        }
+        const double candidate =
+            parent.path_cost + costs.cost(parent.host, unplaced[d]);
+        // Deterministic tie-break: lower cost, then destination name,
+        // then lower parent index.
+        const bool better =
+            best_parent < 0 || candidate < best_cost ||
+            (candidate == best_cost &&
+             (unplaced[d] < unplaced[best_dest] ||
+              (unplaced[d] == unplaced[best_dest] &&
+               static_cast<std::size_t>(best_parent) > p)));
+        if (better) {
+          best_parent = static_cast<int>(p);
+          best_dest = d;
+          best_cost = candidate;
+        }
+      }
+    }
+    if (best_parent < 0) {
+      // Every attached node is at its fanout limit. With fanout >= 1 a
+      // fresh leaf always has capacity, so this is unreachable — keep a
+      // typed error rather than an invariant crash.
+      return internal_error("multicast: no parent with spare fanout");
+    }
+    TreeNode node;
+    node.host = unplaced[best_dest];
+    node.parent = best_parent;
+    node.depth = tree.nodes[static_cast<std::size_t>(best_parent)].depth + 1;
+    node.path_cost = best_cost;
+    const int index = static_cast<int>(tree.nodes.size());
+    tree.nodes[static_cast<std::size_t>(best_parent)].children.push_back(
+        index);
+    tree.depth = std::max(tree.depth, node.depth);
+    tree.nodes.push_back(std::move(node));
+    unplaced.erase(unplaced.begin() +
+                   static_cast<std::ptrdiff_t>(best_dest));
+  }
+  tree.uniform_fallback = costs.degraded();
+  if (tree.uniform_fallback) uniform_fallback_counter().add();
+  return tree;
+}
+
+}  // namespace griddles::multicast

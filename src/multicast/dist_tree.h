@@ -1,0 +1,75 @@
+// DistTree: bounded-fanout spanning-tree planning for multicast
+// distribution (GridFTP multicast style — see DESIGN.md §12).
+//
+// Staging one file to N consumers as N point-to-point copies serializes
+// on the producer's uplink. The fix is a distribution tree: the source
+// sends each block to a handful of first-hop relays, which write it
+// locally and forward it to their children, so the source-side bytes stay
+// near-flat in N while the deep fan-out happens on the relays' links.
+//
+// The planner is greedy cheapest-insertion over NWS-style link estimates:
+// attach the unplaced destination whose (path cost to parent + edge cost)
+// is smallest among parents with spare fanout. Link costs come from a
+// PairEstimator — live NWS forecasts when sensors are up, the static
+// testbed LinkModel when they are out; when even that fails for a pair,
+// the planner degrades to uniform edge costs rather than erroring, so a
+// dead estimator can only make the tree slower, never the copy fail.
+//
+// Determinism: ties break on destination name then parent index, and the
+// estimator is consulted once per directed pair (memoized), so the same
+// inputs always produce byte-identical trees — fault schedules keyed on
+// relay hosts replay exactly.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/nws/forecast.h"
+
+namespace griddles::multicast {
+
+/// Estimates the link from `src` to `dst`. Errors are tolerated per pair
+/// (uniform-cost fallback); the planner never fails on estimator trouble.
+using PairEstimator = std::function<Result<nws::LinkEstimate>(
+    const std::string& src, const std::string& dst)>;
+
+struct TreeOptions {
+  /// Children per interior (relay) node.
+  int max_fanout = 4;
+  /// Children of the source itself — the knob that bounds source-side
+  /// bytes to root_fanout * file size regardless of N.
+  int root_fanout = 2;
+  /// Payload the cost model prices each edge with.
+  std::uint64_t reference_bytes = 8u << 20;
+};
+
+struct TreeNode {
+  std::string host;
+  int parent = -1;  // index into DistTree::nodes; -1 only for the source
+  std::vector<int> children;
+  int depth = 0;          // source = 0
+  double path_cost = 0;   // modelled seconds source -> this node
+};
+
+struct DistTree {
+  std::vector<TreeNode> nodes;  // nodes[0] is the source
+  int depth = 0;                // max node depth
+  bool uniform_fallback = false;  // at least one pair lacked an estimate
+
+  const TreeNode& source() const { return nodes.front(); }
+
+  /// Hosts with children — the interior relays a fault plan can target.
+  std::vector<std::string> relay_hosts() const;
+};
+
+/// Plans the bounded-fanout tree. Destinations must be unique and must
+/// not contain the source (kInvalidArgument otherwise). An empty
+/// destination list yields a tree of just the source.
+Result<DistTree> plan_tree(const std::string& source,
+                           const std::vector<std::string>& destinations,
+                           const PairEstimator& estimator,
+                           const TreeOptions& options);
+
+}  // namespace griddles::multicast

@@ -86,6 +86,8 @@ std::string_view span_kind_name(SpanKind kind) noexcept {
       return "failover";
     case SpanKind::kRecovery:
       return "recovery";
+    case SpanKind::kRelay:
+      return "relay";
     case SpanKind::kOther:
       return "other";
   }

@@ -60,6 +60,7 @@ enum class SpanKind : std::uint8_t {
   kRetry,       // one retry attempt (backoff + re-call) after a failure
   kFailover,    // a replica failure survived by moving to the next one
   kRecovery,    // a failed stage re-run via the fallback coupling
+  kRelay,       // one multicast relay hop (write + forward to children)
   kOther,
 };
 

@@ -7,8 +7,9 @@
 
 namespace griddles::remote {
 
-Advice advise(std::uint64_t file_size, double access_fraction,
-              const nws::LinkEstimate& link, const AdvisorPolicy& policy) {
+Advice advise_quiet(std::uint64_t file_size, double access_fraction,
+                    const nws::LinkEstimate& link,
+                    const AdvisorPolicy& policy) {
   Advice advice;
   const double size = static_cast<double>(file_size);
   const double fraction = std::clamp(access_fraction, 0.0, 1.0);
@@ -35,9 +36,14 @@ Advice advise(std::uint64_t file_size, double access_fraction,
        advice.copy_cost_seconds <= advice.proxy_cost_seconds)
           ? RemoteStrategy::kCopy
           : RemoteStrategy::kProxy;
+  return advice;
+}
 
+void record_advice(const Advice& advice) {
   // Decision telemetry: counts per strategy plus the predicted costs, so
   // predicted-vs-actual can be compared against `remote.copy.seconds`.
+  // One logical transfer records exactly one decision — a multicast copy
+  // to N destinations must not inflate these N-fold.
   auto& registry = obs::MetricsRegistry::global();
   static obs::Counter& copy_decisions =
       registry.counter("advisor.decisions.copy");
@@ -52,6 +58,13 @@ Advice advise(std::uint64_t file_size, double access_fraction,
       .add();
   predicted_copy_s.observe(advice.copy_cost_seconds);
   predicted_proxy_s.observe(advice.proxy_cost_seconds);
+}
+
+Advice advise(std::uint64_t file_size, double access_fraction,
+              const nws::LinkEstimate& link, const AdvisorPolicy& policy) {
+  const Advice advice =
+      advise_quiet(file_size, access_fraction, link, policy);
+  record_advice(advice);
   return advice;
 }
 

@@ -33,7 +33,20 @@ struct Advice {
   double proxy_cost_seconds = 0;
 };
 
-/// Estimates both plans and picks the cheaper one.
+/// Estimates both plans and picks the cheaper one. Pure scoring — no
+/// telemetry; use it to price candidate legs of a multi-destination copy
+/// without each leg counting as a separate advisor decision.
+Advice advise_quiet(std::uint64_t file_size, double access_fraction,
+                    const nws::LinkEstimate& link,
+                    const AdvisorPolicy& policy);
+
+/// Records one logical decision into `advisor.decisions.*` and the
+/// predicted-cost histograms. A multi-destination copy scores every leg
+/// with advise_quiet() and records the bottleneck leg exactly once.
+void record_advice(const Advice& advice);
+
+/// Estimates both plans and picks the cheaper one, recording the
+/// decision (advise_quiet + record_advice).
 ///
 /// Copy: parallel-stream bulk transfer — a handful of round trips plus
 /// size/bandwidth. Proxy: one request/response round trip per touched

@@ -9,8 +9,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/common/clock.h"
+#include "src/multicast/dist_tree.h"
 #include "src/net/transport.h"
 
 namespace griddles::remote {
@@ -23,6 +25,27 @@ struct CopyStats {
   double bytes_per_second() const {
     return seconds > 0 ? static_cast<double>(bytes) / seconds : 0;
   }
+};
+
+/// One destination of a multi-destination staged copy.
+struct MultiCopyTarget {
+  std::string host;          // machine name (tree/fault vocabulary)
+  net::Endpoint endpoint;    // that machine's remote::FileServer
+  std::string remote_path;   // server-relative write target
+};
+
+struct MultiCopyStats {
+  std::uint64_t bytes = 0;   // file size (delivered to every destination)
+  double seconds = 0;        // model time for the whole distribution
+  int destinations = 0;      // after deduplication
+  /// Payload bytes that left the source itself — the multicast headline:
+  /// ~root_fanout * bytes for a tree vs destinations * bytes naive.
+  std::uint64_t source_bytes_sent = 0;
+  int tree_depth = 0;
+  /// Relay hosts that died mid-transfer and were repaired by a direct
+  /// re-push from the source.
+  int reparents = 0;
+  int streams_used = 0;
 };
 
 class FileCopier {
@@ -52,6 +75,26 @@ class FileCopier {
                          const net::Endpoint& server,
                          const std::string& remote_path);
 
+  /// Local -> N remotes through a bounded-fanout relay tree (DESIGN.md
+  /// §12): plans a spanning tree over `estimator` link costs, streams
+  /// chunks to the root's children, and each recruited FileServer writes
+  /// the chunk locally and forwards it down its subtree. Relay deaths are
+  /// adopted by their parent mid-transfer and the affected hosts repaired
+  /// with a direct re-push, so delivery is all-or-error.
+  ///
+  /// Degenerate inputs match single-copy behavior exactly: an empty list
+  /// is a no-op success (no metrics), one destination delegates to
+  /// push(), and exact duplicates are deduplicated with a warning. The
+  /// same host with two different paths is kInvalidArgument.
+  ///
+  /// Telemetry: one `remote.copy.*` sample and one advisor decision for
+  /// the whole distribution, never one per destination.
+  Result<MultiCopyStats> copy_to_many(
+      const std::string& local_path,
+      const std::vector<MultiCopyTarget>& destinations,
+      const multicast::TreeOptions& tree_options,
+      const multicast::PairEstimator& estimator);
+
  private:
   /// One whole-file attempt; `bytes_out` reports the payload size.
   Status fetch_attempt(const net::Endpoint& server,
@@ -62,6 +105,13 @@ class FileCopier {
                       const net::Endpoint& server,
                       const std::string& remote_path,
                       std::uint64_t* bytes_out, int* streams_out);
+  /// push()'s whole-file retry loop without the copy span or metrics —
+  /// shared with copy_to_many's dead-host repair path, which must not
+  /// double-count `remote.copy.*` for the same logical transfer.
+  Status push_with_retries(const std::string& local_path,
+                           const net::Endpoint& server,
+                           const std::string& remote_path,
+                           std::uint64_t* bytes_out, int* streams_out);
 
   net::Transport& transport_;
   Clock& clock_;

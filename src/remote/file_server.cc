@@ -5,9 +5,11 @@
 
 #include <cerrno>
 #include <cstring>
+#include <vector>
 
 #include "src/common/bytes.h"
 #include "src/common/strings.h"
+#include "src/obs/span.h"
 #include "src/vfs/local_client.h"
 #include "src/xdr/codec.h"
 
@@ -24,7 +26,9 @@ Status errno_status(const char* op, const std::string& path) {
 
 FileServer::FileServer(fs::path root, net::Transport& transport,
                        net::Endpoint bind, net::WireFormat format)
-    : root_(std::move(root)), rpc_(transport, std::move(bind), format) {
+    : root_(std::move(root)),
+      rpc_(transport, std::move(bind), format),
+      forwarder_(transport) {
   register_handlers();
 }
 
@@ -90,6 +94,7 @@ void FileServer::register_handlers() {
   bind(Method::kRemove, &FileServer::handle_remove);
   bind(Method::kList, &FileServer::handle_list);
   bind(Method::kChecksum, &FileServer::handle_checksum);
+  bind(Method::kRelayChunk, &FileServer::handle_relay_chunk);
 }
 
 Result<Bytes> FileServer::handle_open(ByteSpan request) {
@@ -269,12 +274,8 @@ Result<Bytes> FileServer::handle_get_chunk(ByteSpan request) {
   return std::move(enc).take();
 }
 
-Result<Bytes> FileServer::handle_put_chunk(ByteSpan request) {
-  xdr::Decoder dec(request);
-  GL_ASSIGN_OR_RETURN(const std::string path, dec.string());
-  GL_ASSIGN_OR_RETURN(const std::uint64_t offset, dec.u64());
-  GL_ASSIGN_OR_RETURN(const bool truncate_to_offset, dec.boolean());
-  GL_ASSIGN_OR_RETURN(const Bytes data, dec.bytes());
+Status FileServer::write_chunk(const std::string& path, std::uint64_t offset,
+                               bool truncate_to_offset, ByteSpan data) {
   GL_ASSIGN_OR_RETURN(const fs::path full, resolve(path));
   std::error_code ec;
   fs::create_directories(full.parent_path(), ec);
@@ -297,8 +298,58 @@ Result<Bytes> FileServer::handle_put_chunk(ByteSpan request) {
     put += static_cast<std::size_t>(n);
   }
   ::close(fd);
-  GL_RETURN_IF_ERROR(status);
+  return status;
+}
+
+Result<Bytes> FileServer::handle_put_chunk(ByteSpan request) {
+  xdr::Decoder dec(request);
+  GL_ASSIGN_OR_RETURN(const std::string path, dec.string());
+  GL_ASSIGN_OR_RETURN(const std::uint64_t offset, dec.u64());
+  GL_ASSIGN_OR_RETURN(const bool truncate_to_offset, dec.boolean());
+  GL_ASSIGN_OR_RETURN(const Bytes data, dec.bytes());
+  GL_RETURN_IF_ERROR(write_chunk(path, offset, truncate_to_offset, data));
   return Bytes{};
+}
+
+Result<Bytes> FileServer::handle_relay_chunk(ByteSpan request) {
+  xdr::Decoder dec(request);
+  GL_ASSIGN_OR_RETURN(const multicast::RelayNode node,
+                      multicast::decode_node(dec));
+  GL_ASSIGN_OR_RETURN(const std::uint64_t offset, dec.u64());
+  GL_ASSIGN_OR_RETURN(const bool truncate_to_offset, dec.boolean());
+  GL_ASSIGN_OR_RETURN(const Bytes data, dec.bytes());
+
+  const std::string host = rpc_.endpoint().host;
+  obs::Span span(obs::SpanKind::kRelay, strings::cat("relay:", host));
+  span.add_attr("path", node.path);
+  span.add_attr("children", strings::cat(node.children.size()));
+
+  // An injected die@relay:<host> keys on the cumulative bytes this server
+  // has relayed; once it fires the hop fails and the parent adopts.
+  const std::uint64_t cumulative =
+      relayed_bytes_.fetch_add(data.size(), std::memory_order_relaxed) +
+      data.size();
+  GL_RETURN_IF_ERROR(multicast::consult_relay_fault(host, cumulative));
+
+  GL_RETURN_IF_ERROR(
+      write_chunk(node.path, offset, truncate_to_offset, data));
+
+  std::vector<std::string> dead;
+  multicast::relay_block(
+      forwarder_, node.children, method_id(Method::kRelayChunk),
+      [&](const multicast::RelayNode& child) {
+        xdr::Encoder enc;
+        multicast::encode_node(enc, child);
+        enc.put_u64(offset);
+        enc.put_bool(truncate_to_offset);
+        enc.put_bytes(data);
+        return std::move(enc).take();
+      },
+      dead);
+
+  xdr::Encoder enc;
+  multicast::encode_dead_hosts(enc, dead);
+  return std::move(enc).take();
 }
 
 Result<Bytes> FileServer::handle_truncate(ByteSpan request) {

@@ -5,12 +5,14 @@
 // pwrite) make concurrent handles and parallel copy streams safe.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
 
+#include "src/multicast/relay.h"
 #include "src/net/rpc.h"
 #include "src/common/thread_annotations.h"
 #include "src/remote/protocol.h"
@@ -53,9 +55,19 @@ class FileServer {
   Result<Bytes> handle_remove(ByteSpan request);
   Result<Bytes> handle_list(ByteSpan request);
   Result<Bytes> handle_checksum(ByteSpan request);
+  Result<Bytes> handle_relay_chunk(ByteSpan request);
+
+  /// Shared pwrite body of kPutChunk and kRelayChunk.
+  Status write_chunk(const std::string& path, std::uint64_t offset,
+                     bool truncate_to_offset, ByteSpan data);
 
   std::filesystem::path root_;
   net::RpcServer rpc_;
+  multicast::RelayForwarder forwarder_;
+  /// Cumulative bytes this server forwarded as a relay — the `after=`
+  /// high-water mark of `die@relay:<host>` fault rules.
+  // lint: not-a-metric (fault-site high-water mark)
+  std::atomic<std::uint64_t> relayed_bytes_{0};
   mutable Mutex mu_;
   std::map<std::uint64_t, OpenFile> handles_ GUARDED_BY(mu_);
   std::uint64_t next_handle_ GUARDED_BY(mu_) = 1;

@@ -23,6 +23,9 @@ enum class Method : std::uint16_t {
   kRemove = 9,    // (path)
   kList = 10,     // (path) -> names
   kChecksum = 11, // (path) -> fnv1a of contents (replica verification)
+  kRelayChunk = 12,  // (subtree, offset, truncate, bytes) -> dead hosts:
+                     // write the chunk locally, forward it to every child
+                     // subtree (multicast relay hop, DESIGN.md §12)
 };
 
 constexpr std::uint16_t method_id(Method m) {

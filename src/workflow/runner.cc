@@ -95,6 +95,24 @@ TaskResult task_result_from(const StageRecord& record) {
   return result;
 }
 
+/// Link costs for multicast tree planning from the static testbed model.
+/// Hosts outside the paper testbed simply fail per pair, which degrades
+/// the planner to uniform costs — never fails the copy.
+multicast::PairEstimator testbed_pair_estimator() {
+  return [](const std::string& src,
+            const std::string& dst) -> Result<nws::LinkEstimate> {
+    GL_ASSIGN_OR_RETURN(const testbed::MachineSpec a,
+                        testbed::find_machine(src));
+    GL_ASSIGN_OR_RETURN(const testbed::MachineSpec b,
+                        testbed::find_machine(dst));
+    const testbed::LinkSpec link = testbed::link_between(a, b);
+    nws::LinkEstimate estimate;
+    estimate.latency_seconds = link.latency_s;
+    estimate.bandwidth_bytes_per_sec = link.mb_per_s * 1e6;
+    return estimate;
+  };
+}
+
 /// Writes an external input file with the deterministic stream content.
 Status materialize_stream(const std::string& full_path,
                           const std::string& open_name,
@@ -271,6 +289,8 @@ Result<WorkflowReport> WorkflowRunner::run(const WorkflowSpec& spec,
             destinations.push_back(machine);
           }
         }
+        // Checkpoint-skip first; what remains actually needs shipping.
+        std::vector<std::string> pending;
         for (const std::string& destination : destinations) {
           if (ctx.checkpoint) {
             const CopyRecord* copied = ctx.checkpoint->copy(
@@ -287,14 +307,29 @@ Result<WorkflowReport> WorkflowRunner::run(const WorkflowSpec& spec,
               }
             }
           }
-          GL_RETURN_IF_ERROR(stage_copy(edge.path, producer.machine,
-                                        destination, options, ctx, report));
-          if (ctx.checkpoint) {
-            const CopyResult& copy = report.copies.back();
+          pending.push_back(destination);
+        }
+        // 2+ cross-machine consumers: one multicast distribution instead
+        // of N point-to-point copies (DESIGN.md §12).
+        if (pending.size() >= 2 && options.multicast_fanout > 0) {
+          GL_RETURN_IF_ERROR(stage_copy_many(edge.path, producer.machine,
+                                             pending, options, ctx,
+                                             report));
+        } else {
+          for (const std::string& destination : pending) {
+            GL_RETURN_IF_ERROR(stage_copy(edge.path, producer.machine,
+                                          destination, options, ctx,
+                                          report));
+          }
+        }
+        if (ctx.checkpoint && !pending.empty()) {
+          // The fresh copies are the last `pending.size()` report rows.
+          const std::size_t first = report.copies.size() - pending.size();
+          for (std::size_t i = first; i < report.copies.size(); ++i) {
+            const CopyResult& copy = report.copies[i];
             GL_ASSIGN_OR_RETURN(
                 const std::uint64_t dest_hash,
-                hash_file(canonical_in(ctx.dirs.at(destination),
-                                       edge.path)));
+                hash_file(canonical_in(ctx.dirs.at(copy.to), edge.path)));
             GL_RETURN_IF_ERROR(ctx.checkpoint->append_copy(
                 CopyRecord{copy.path, copy.from, copy.to, copy.finished_s,
                            copy.seconds, dest_hash}));
@@ -416,21 +451,33 @@ Status WorkflowRunner::install_rules(const WorkflowSpec& spec,
 
     case CouplingMode::kGridBuffers: {
       for (const Edge& edge : edges) {
+        // Consumers spanning 2+ machines get a broadcast channel routed
+        // through the multicast relay tree (DESIGN.md §12); single-
+        // machine readerships keep the paper's reader-end placement.
+        if (options.multicast_fanout > 0) {
+          const std::string& producer_machine =
+              spec.tasks[edge.producer].machine;
+          std::vector<std::string> remote_machines;
+          std::map<std::string, std::uint32_t> local_readers;
+          for (const std::size_t consumer : edge.consumers) {
+            const std::string& machine = spec.tasks[consumer].machine;
+            if (++local_readers[machine] == 1 &&
+                machine != producer_machine) {
+              remote_machines.push_back(machine);
+            }
+          }
+          if (remote_machines.size() >= 2) {
+            GL_RETURN_IF_ERROR(install_broadcast_edge(
+                spec, edge, remote_machines, local_readers, options, ctx));
+            continue;
+          }
+        }
+
         // Buffer placed at the (first) reader's end (paper §3.1).
         const std::string& buffer_machine =
             spec.tasks[edge.consumers.front()].machine;
-        auto& server = ctx.buffer_servers[buffer_machine];
-        if (!server) {
-          auto& transport = ctx.server_transports[strings::cat(
-              "gbuf-", buffer_machine)];
-          transport = testbed_.transport(buffer_machine);
-          server = std::make_unique<gridbuffer::GridBufferServer>(
-              canonical_in(ctx.dirs.at(buffer_machine), "gbuf-cache"),
-              *transport,
-              net::inproc_endpoint(buffer_machine,
-                                   strings::cat("gbuf-", ctx.run_tag)));
-          GL_RETURN_IF_ERROR(server->start());
-        }
+        GL_ASSIGN_OR_RETURN(gridbuffer::GridBufferServer * server,
+                            ensure_buffer_server(buffer_machine, ctx));
         const std::string channel = strings::cat(ctx.run_tag, "/",
                                                  edge.path);
         const std::string buffer_endpoint =
@@ -484,6 +531,114 @@ Status WorkflowRunner::install_rules(const WorkflowSpec& spec,
     }
   }
   return internal_error("unhandled coupling mode");
+}
+
+Status WorkflowRunner::install_broadcast_edge(
+    const WorkflowSpec& spec, const Edge& edge,
+    const std::vector<std::string>& machines,
+    const std::map<std::string, std::uint32_t>& local_readers,
+    const Options& options, RunContext& ctx) {
+  const std::string& producer_machine = spec.tasks[edge.producer].machine;
+  for (const std::string& machine : machines) {
+    GL_RETURN_IF_ERROR(ensure_buffer_server(machine, ctx).status());
+  }
+
+  // root_fanout=1: the producer sends each block exactly once, into the
+  // cheapest first hop; the relay tree does the wide fan-out.
+  multicast::TreeOptions tree_options;
+  tree_options.max_fanout = options.multicast_fanout;
+  tree_options.root_fanout = 1;
+  GL_ASSIGN_OR_RETURN(
+      const multicast::DistTree tree,
+      multicast::plan_tree(producer_machine, machines,
+                           testbed_pair_estimator(), tree_options));
+  const int first_hop_index = tree.source().children.front();
+  const std::string& first_hop = tree.nodes[static_cast<std::size_t>(
+                                                first_hop_index)]
+                                     .host;
+  // Consumers on the producer's own machine read from the first hop too,
+  // so its channel expects them on top of its local readers.
+  const auto producer_local_it = local_readers.find(producer_machine);
+  const std::uint32_t producer_local =
+      producer_local_it == local_readers.end() ? 0
+                                               : producer_local_it->second;
+  const auto readers_at = [&](const std::string& machine) {
+    std::uint32_t readers = local_readers.at(machine);
+    if (machine == first_hop) readers += producer_local;
+    return readers;
+  };
+
+  const std::string channel = strings::cat(ctx.run_tag, "/", edge.path);
+
+  gridbuffer::ChannelConfig config;
+  config.block_size = options.buffer_block;
+  config.cache_enabled = options.buffer_cache;
+
+  // The wire subtrees the first hop fans every write out to. Every node
+  // carries its machine-local reader count — expected_readers is the one
+  // channel parameter that legitimately differs per machine.
+  const std::function<multicast::RelayNode(int)> build =
+      [&](int index) -> multicast::RelayNode {
+    const multicast::TreeNode& planned =
+        tree.nodes[static_cast<std::size_t>(index)];
+    multicast::RelayNode node;
+    node.host = planned.host;
+    node.endpoint =
+        ctx.buffer_servers.at(planned.host)->endpoint().to_string();
+    node.path = channel;
+    node.readers = readers_at(planned.host);
+    node.children.reserve(planned.children.size());
+    for (const int child : planned.children) {
+      node.children.push_back(build(child));
+    }
+    return node;
+  };
+  std::vector<multicast::RelayNode> fan_children;
+  for (const int child :
+       tree.nodes[static_cast<std::size_t>(first_hop_index)].children) {
+    fan_children.push_back(build(child));
+  }
+  ctx.buffer_servers.at(first_hop)->set_broadcast(channel, config,
+                                                  fan_children);
+  GL_LOG(kInfo, "broadcast channel ", channel, ": producer ",
+         producer_machine, " -> ", first_hop, " -> ", machines.size() - 1,
+         " relayed machine(s), depth ", tree.depth);
+
+  gns::FileMapping base;
+  base.mode = gns::IoMode::kGridBuffer;
+  base.channel = channel;
+  base.block_size = options.buffer_block;
+  base.cache_enabled = options.buffer_cache;
+
+  // The producer writes once into the first hop's server.
+  gns::FileMapping producer_mapping = base;
+  producer_mapping.buffer_endpoint =
+      ctx.buffer_servers.at(first_hop)->endpoint().to_string();
+  producer_mapping.reader_count = readers_at(first_hop);
+  gns::MappingRule producer_rule;
+  producer_rule.host_pattern = producer_machine;
+  producer_rule.path_pattern =
+      canonical_in(ctx.dirs.at(producer_machine), edge.path);
+  producer_rule.mapping = producer_mapping;
+  ctx.db.add_rule(producer_rule);
+
+  // Every consumer reads from its machine-local server (producer-machine
+  // consumers from the first hop's).
+  for (const std::size_t consumer : edge.consumers) {
+    const std::string& machine = spec.tasks[consumer].machine;
+    gns::FileMapping mapping = base;
+    const std::string& served_by =
+        machine == producer_machine ? first_hop : machine;
+    mapping.buffer_endpoint =
+        ctx.buffer_servers.at(served_by)->endpoint().to_string();
+    mapping.reader_count = readers_at(served_by);
+    gns::MappingRule rule;
+    rule.host_pattern = machine;
+    rule.path_pattern = canonical_in(ctx.dirs.at(machine), edge.path);
+    rule.mapping = mapping;
+    ctx.db.add_rule(rule);
+  }
+  return Status::ok();
 }
 
 Result<TaskResult> WorkflowRunner::run_task(const WorkflowSpec& spec,
@@ -564,6 +719,21 @@ Result<remote::FileServer*> WorkflowRunner::ensure_file_server(
   return server.get();
 }
 
+Result<gridbuffer::GridBufferServer*> WorkflowRunner::ensure_buffer_server(
+    const std::string& machine, RunContext& ctx) {
+  auto& server = ctx.buffer_servers[machine];
+  if (!server) {
+    auto& transport =
+        ctx.server_transports[strings::cat("gbuf-", machine)];
+    transport = testbed_.transport(machine);
+    server = std::make_unique<gridbuffer::GridBufferServer>(
+        canonical_in(ctx.dirs.at(machine), "gbuf-cache"), *transport,
+        net::inproc_endpoint(machine, strings::cat("gbuf-", ctx.run_tag)));
+    GL_RETURN_IF_ERROR(server->start());
+  }
+  return server.get();
+}
+
 Status WorkflowRunner::stage_copy(const std::string& path,
                                   const std::string& from,
                                   const std::string& to,
@@ -587,6 +757,52 @@ Status WorkflowRunner::stage_copy(const std::string& path,
   copy.seconds = stats.seconds;
   copy.finished_s = to_seconds_d(testbed_.clock().now() - ctx.start);
   report.copies.push_back(copy);
+  return Status::ok();
+}
+
+Status WorkflowRunner::stage_copy_many(
+    const std::string& path, const std::string& from,
+    const std::vector<std::string>& destinations, const Options& options,
+    RunContext& ctx, WorkflowReport& report) {
+  // Push-based: the copier runs at the source and streams chunks into
+  // the relay tree; every destination's file server can be recruited as
+  // an interior relay, so each needs to be up.
+  std::vector<remote::MultiCopyTarget> targets;
+  targets.reserve(destinations.size());
+  for (const std::string& destination : destinations) {
+    GL_ASSIGN_OR_RETURN(remote::FileServer * server,
+                        ensure_file_server(destination, ctx));
+    targets.push_back(
+        remote::MultiCopyTarget{destination, server->endpoint(), path});
+  }
+  auto transport = testbed_.transport(from);
+  remote::FileCopier::Options copy_options;
+  copy_options.chunk_size = options.copy_chunk;
+  copy_options.parallel_streams = options.copy_streams;
+  remote::FileCopier copier(*transport, testbed_.clock(), copy_options);
+  multicast::TreeOptions tree_options;
+  tree_options.max_fanout = options.multicast_fanout;
+  tree_options.root_fanout =
+      std::min(tree_options.root_fanout, options.multicast_fanout);
+  GL_ASSIGN_OR_RETURN(
+      const remote::MultiCopyStats stats,
+      copier.copy_to_many(canonical_in(ctx.dirs.at(from), path), targets,
+                          tree_options, testbed_pair_estimator()));
+  const double finished_s =
+      to_seconds_d(testbed_.clock().now() - ctx.start);
+  for (const std::string& destination : destinations) {
+    CopyResult copy;
+    copy.path = path;
+    copy.from = from;
+    copy.to = destination;
+    copy.seconds = stats.seconds;
+    copy.finished_s = finished_s;
+    report.copies.push_back(copy);
+  }
+  GL_LOG(kInfo, "multicast staged ", path, " from ", from, " to ",
+         destinations.size(), " machine(s): depth ", stats.tree_depth,
+         ", source bytes ", stats.source_bytes_sent, ", reparents ",
+         stats.reparents);
   return Status::ok();
 }
 

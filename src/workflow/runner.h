@@ -88,6 +88,12 @@ class WorkflowRunner {
     /// Parallel streams for staged copies.
     int copy_streams = 4;
     std::uint32_t copy_chunk = 1u << 20;
+    /// Relay fanout for multicast distribution (DESIGN.md §12): when a
+    /// stage output feeds 2+ cross-machine consumers, staged copies go
+    /// through a bounded-fanout spanning tree (and grid-buffer edges
+    /// with 2+ consumer machines become broadcast channels) instead of
+    /// N point-to-point transfers. 0 disables multicast entirely.
+    int multicast_fanout = 4;
     /// Fail a stuck run after this much wall time per buffer read.
     std::uint64_t read_deadline_ms = 120000;
     /// GNS replication factor: this many replica servers (all over the
@@ -130,6 +136,25 @@ class WorkflowRunner {
   Status stage_copy(const std::string& path, const std::string& from,
                     const std::string& to, const Options& options,
                     RunContext& ctx, WorkflowReport& report);
+  /// Multicast staging of `path` from `from` to 2+ machines through a
+  /// relay tree of their file servers; appends one CopyResult per
+  /// destination to the report.
+  Status stage_copy_many(const std::string& path, const std::string& from,
+                         const std::vector<std::string>& destinations,
+                         const Options& options, RunContext& ctx,
+                         WorkflowReport& report);
+
+  /// Starts (or reuses) the Grid Buffer server on `machine`.
+  Result<gridbuffer::GridBufferServer*> ensure_buffer_server(
+      const std::string& machine, RunContext& ctx);
+  /// Installs the broadcast-channel rules for an edge whose consumers
+  /// span 2+ machines: one buffer server per consumer machine, writes
+  /// routed through the multicast relay tree.
+  Status install_broadcast_edge(
+      const WorkflowSpec& spec, const Edge& edge,
+      const std::vector<std::string>& machines,
+      const std::map<std::string, std::uint32_t>& local_readers,
+      const Options& options, RunContext& ctx);
 
   /// Re-runs tasks that failed with a recoverable Status (kUnavailable,
   /// kTimeout, kDataLoss) after remapping their edges to staged-file

@@ -54,6 +54,7 @@ KIND_BUCKET = {
     "copy": "network",
     "chunk": "network",
     "rpc": "network",
+    "relay": "network",
     "retry": "retry",
     "failover": "retry",
     "recovery": "retry",
