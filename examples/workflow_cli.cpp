@@ -31,8 +31,10 @@
 //                        (required for a checkpoint resume to find the
 //                        previous run's outputs)
 //
-// [workflow] also accepts `gns_replicas = N` (replicated name service
-// with failover; default 1).
+// [workflow] also accepts `gns_replicas = N` (multi-master replicated
+// name service with failover; default 1) and `gns_shards = N` (buckets
+// the namespace is rendezvous-hashed into; default 8). `--gns-shards=N`
+// on the command line beats the ini key.
 //
 // Config format:
 //   [workflow]
@@ -111,6 +113,7 @@ struct CliOptions {
   std::string checkpoint_path;
   std::string scratch_dir;
   int fanout = -1;  // --fanout= override; -1 defers to workflow.fanout
+  int gns_shards = -1;  // --gns-shards= override; -1 defers to the ini
 };
 
 Result<int> run_from_config(const Config& config, const CliOptions& cli) {
@@ -224,6 +227,12 @@ Result<int> run_from_config(const Config& config, const CliOptions& cli) {
   options.mode = mode;
   options.gns_replicas = static_cast<int>(
       config.get_int_or("workflow.gns_replicas", 1));
+  // Namespace shard count: --gns-shards= beats the ini key.
+  options.gns_shards =
+      cli.gns_shards > 0
+          ? cli.gns_shards
+          : static_cast<int>(config.get_int_or("workflow.gns_shards",
+                                               options.gns_shards));
   // Multicast relay fanout: --fanout= beats the ini key; 0 disables.
   options.multicast_fanout =
       cli.fanout >= 0
@@ -341,6 +350,8 @@ int main(int argc, char** argv) {
       cli.checkpoint_path = arg.substr(13);
     } else if (strings::starts_with(arg, "--fanout=")) {
       cli.fanout = std::atoi(arg.c_str() + 9);
+    } else if (strings::starts_with(arg, "--gns-shards=")) {
+      cli.gns_shards = std::atoi(arg.c_str() + 13);
     } else if (strings::starts_with(arg, "--scratch=")) {
       cli.scratch_dir = arg.substr(10);
     } else if (input.empty()) {
@@ -354,7 +365,8 @@ int main(int argc, char** argv) {
                  "usage: %s [--metrics=<file|->] [--trace=<file|->] "
                  "[--spans=<file|->] [--faults=<spec>] "
                  "[--checkpoint=<file>] [--scratch=<dir>] "
-                 "[--fanout=<n>] <workflow.ini> | --demo\n",
+                 "[--fanout=<n>] [--gns-shards=<n>] "
+                 "<workflow.ini> | --demo\n",
                  argv[0]);
     return 2;
   }

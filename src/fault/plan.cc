@@ -17,6 +17,7 @@ struct FaultMetrics {
   obs::Counter& truncate;
   obs::Counter& corrupt;
   obs::Counter& peer_death;
+  obs::Counter& partition;
 
   static FaultMetrics& get() {
     auto& registry = obs::MetricsRegistry::global();
@@ -27,6 +28,7 @@ struct FaultMetrics {
         registry.counter("fault.injected.truncate"),
         registry.counter("fault.injected.corrupt"),
         registry.counter("fault.injected.peer_death"),
+        registry.counter("fault.injected.partition"),
     };
     return metrics;
   }
@@ -39,6 +41,7 @@ struct FaultMetrics {
       case Op::kTruncate: return truncate;
       case Op::kCorrupt: return corrupt;
       case Op::kPeerDeath: return peer_death;
+      case Op::kPartition: return partition;
     }
     return drop;
   }
@@ -59,6 +62,7 @@ std::string_view op_name(Op op) noexcept {
     case Op::kTruncate: return "truncate";
     case Op::kCorrupt: return "corrupt";
     case Op::kPeerDeath: return "die";
+    case Op::kPartition: return "partition";
   }
   return "?";
 }
@@ -72,6 +76,7 @@ std::string_view site_name(Site site) noexcept {
     case Site::kGns: return "gns";
     case Site::kNws: return "nws";
     case Site::kRelay: return "relay";
+    case Site::kGnsSync: return "gns";  // grammar: partition@gns:<a>-<b>
   }
   return "?";
 }
@@ -101,6 +106,7 @@ Result<Op> parse_op(std::string_view name) {
   if (name == "truncate") return Op::kTruncate;
   if (name == "corrupt") return Op::kCorrupt;
   if (name == "die") return Op::kPeerDeath;
+  if (name == "partition") return Op::kPartition;
   return invalid_argument(strings::cat("fault spec: unknown op '", name,
                                        "'"));
 }
@@ -135,6 +141,8 @@ Status apply_param(Rule& rule, std::string_view key, std::string_view value) {
     rule.max_fires = static_cast<std::uint64_t>(*number);
   } else if (key == "at") {
     rule.at_s = *number;
+  } else if (key == "until") {
+    rule.until_s = *number;
   } else if (key == "add") {
     rule.delay_s = *number;
   } else if (key == "after") {
@@ -181,6 +189,16 @@ Result<std::shared_ptr<Plan>> Plan::parse(const std::string& spec) {
     GL_ASSIGN_OR_RETURN(rule.op, parse_op(segment.substr(0, at)));
     GL_ASSIGN_OR_RETURN(
         rule.site, parse_site(segment.substr(at + 1, head_end - at - 1)));
+    // `partition@gns:<a>-<b>` severs peer sync (kGnsSync, keyed by the
+    // replica pair), not client lookups — remap so a partition rule can
+    // never make a lookup-site decision.
+    if (rule.op == Op::kPartition) {
+      if (rule.site != Site::kGns) {
+        return invalid_argument(strings::cat(
+            "fault spec: '", segment, "': partition only applies @gns"));
+      }
+      rule.site = Site::kGnsSync;
+    }
 
     // The tail after the last ':' is a param list; everything between
     // is the key glob (which may itself hold ':'). A trailing segment
@@ -266,6 +284,20 @@ Decision Plan::consult(Site site, std::string_view key,
                     ? true
                     : bytes >= rule.after_bytes;
         break;
+      case Op::kPartition: {
+        // Severed during the model window [at=, until=); until=0 means
+        // "while the plan is armed". Without a clock the window can't be
+        // evaluated, so the rule fires whenever it is armed (tests heal
+        // by disarming).
+        if (clock == nullptr) {
+          fires = true;
+        } else {
+          const double now = to_seconds_d(clock->now());
+          fires = now >= rule.at_s &&
+                  (rule.until_s <= 0 || now < rule.until_s);
+        }
+        break;
+      }
       default:
         if (rule.nth != 0) {
           fires = event == rule.nth;
@@ -288,7 +320,7 @@ Decision Plan::consult(Site site, std::string_view key,
     // dead host (or lookup against a dead replica, or block through a
     // dead relay) must keep failing.
     const bool permanent =
-        rule.op == Op::kCrash ||
+        rule.op == Op::kCrash || rule.op == Op::kPartition ||
         (rule.op == Op::kPeerDeath &&
          (site == Site::kGns || site == Site::kNws ||
           site == Site::kRelay));
@@ -316,6 +348,9 @@ Decision Plan::consult(Site site, std::string_view key,
         return decision;
       case Op::kPeerDeath:
         decision.action = Decision::Action::kKill;
+        return decision;
+      case Op::kPartition:
+        decision.action = Decision::Action::kSever;
         return decision;
     }
   }

@@ -42,6 +42,8 @@ enum class Op : std::uint8_t {
   kTruncate,  // deliver a short copy chunk (detected, chunk is resent)
   kCorrupt,   // flip bits in a copy chunk (caught by the checksum pass)
   kPeerDeath, // Grid Buffer writer dies once the channel passes `after=`
+  kPartition, // severs inter-replica GNS sync for a replica pair; model
+              // window [at=, until=) — heals at `until=` (0 = while armed)
 };
 
 std::string_view op_name(Op op) noexcept;
@@ -57,8 +59,13 @@ std::string_view op_name(Op op) noexcept;
 ///            relay function once its cumulative forwarded bytes reach
 ///            `after=`; direct chunk service stays up, so the parent
 ///            adopts the subtree and the source repairs the host direct)
+///   kGnsSync — "<a>-<b>" replica pair of one GNS peer-sync message
+///            (replicate-forward or anti-entropy exchange). Spelled
+///            `gns` in the grammar: `partition@gns:<a>-<b>` parses to
+///            this site, so client lookups (kGns, keyed by one replica
+///            name) are never severed by a partition rule.
 enum class Site : std::uint8_t {
-  kRpc, kLink, kCopy, kPeer, kGns, kNws, kRelay,
+  kRpc, kLink, kCopy, kPeer, kGns, kNws, kRelay, kGnsSync,
 };
 
 std::string_view site_name(Site site) noexcept;
@@ -78,7 +85,8 @@ struct Rule {
   std::uint64_t nth = 0;
   std::uint64_t max_fires = std::numeric_limits<std::uint64_t>::max();
 
-  double at_s = 0;            // crash: model time the host dies
+  double at_s = 0;            // crash/partition: model time it starts
+  double until_s = 0;         // partition: model time it heals (0 = never)
   double delay_s = 0;         // delay: extra seconds to add
   std::uint64_t after_bytes = 0;  // peer death: channel high-water mark
 
@@ -99,6 +107,7 @@ struct Decision {
     kTruncate,  // deliver short data
     kCorrupt,   // deliver mutated data
     kKill,      // peer death: fail the channel permanently (kDataLoss)
+    kSever,     // partition: this peer-sync message never arrives
   };
   Action action = Action::kNone;
   Duration delay = Duration::zero();

@@ -1,5 +1,6 @@
 #include "src/gns/replicated.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "src/common/strings.h"
@@ -16,6 +17,7 @@ struct GnsMetrics {
   obs::Counter& lease_served;    // lookups served from a lease (outage)
   obs::Counter& breaker_opened;  // closed -> open transitions
   obs::Counter& breaker_recovered;  // half-open -> closed transitions
+  obs::Counter& breaker_probe;      // half-open probe slots claimed
   obs::Gauge& breakers_open;        // replicas currently open
   obs::Gauge& breakers_half_open;   // replicas currently probing
 
@@ -26,6 +28,7 @@ struct GnsMetrics {
         registry.counter("gns.lease.served"),
         registry.counter("gns.breaker.opened"),
         registry.counter("gns.breaker.recovered"),
+        registry.counter("gns.breaker.probe"),
         registry.gauge("gns.breaker.open"),
         registry.gauge("gns.breaker.half_open"),
     };
@@ -35,6 +38,25 @@ struct GnsMetrics {
 
 std::int64_t wall_now_ns() {
   return WallClock::now().time_since_epoch().count();
+}
+
+/// Consults the armed plan for one client-side attempt against
+/// `replica` (Site::kGns, keyed by replica name — never severed by
+/// partition rules, which live at Site::kGnsSync). Returns false when
+/// the replica is injected-dead; sleeps injected delays.
+bool replica_alive(const std::string& replica) {
+  fault::Plan* plan = fault::armed();
+  if (plan == nullptr) return true;
+  const fault::Decision verdict =
+      plan->consult(fault::Site::kGns, replica);
+  if (verdict.action == fault::Decision::Action::kFail ||
+      verdict.action == fault::Decision::Action::kKill) {
+    return false;
+  }
+  if (verdict.action == fault::Decision::Action::kDelay) {
+    fault::sleep_for_model(verdict.delay);
+  }
+  return true;
 }
 }  // namespace
 
@@ -51,13 +73,138 @@ ReplicatedNameService::ReplicatedNameService(net::Transport& transport,
                                              Options options)
     : transport_(transport), options_(options) {}
 
-void ReplicatedNameService::add_replica(std::string name,
-                                        net::Endpoint endpoint) {
+void ReplicatedNameService::add_replica_locked(std::string name,
+                                               net::Endpoint endpoint) {
   auto replica = std::make_unique<Replica>();
   replica->name = std::move(name);
+  replica->endpoint = endpoint;
   replica->client = std::make_unique<GnsClient>(
       transport_, endpoint, options_.format, options_.client_cache_ttl);
+  replica->control = std::make_unique<PeerClient>(transport_, endpoint,
+                                                  options_.format);
   replicas_.push_back(std::move(replica));
+}
+
+void ReplicatedNameService::add_replica(std::string name,
+                                        net::Endpoint endpoint) {
+  MutexLock lock(mu_);
+  add_replica_locked(std::move(name), std::move(endpoint));
+}
+
+std::vector<ReplicatedNameService::Replica*>
+ReplicatedNameService::replicas_snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<Replica*> result;
+  result.reserve(replicas_.size());
+  for (const auto& replica : replicas_) result.push_back(replica.get());
+  return result;
+}
+
+std::size_t ReplicatedNameService::replica_count() const {
+  MutexLock lock(mu_);
+  return replicas_.size();
+}
+
+std::uint64_t ReplicatedNameService::map_epoch() const {
+  MutexLock lock(mu_);
+  return have_map_ ? map_.epoch : 0;
+}
+
+namespace {
+/// Owners-first candidate order shared by lookups and writes.
+template <typename Replicas>
+std::vector<typename Replicas::value_type::element_type*> order_for(
+    const Replicas& replicas, const std::vector<std::string>& owners) {
+  using Ptr = typename Replicas::value_type::element_type*;
+  std::vector<Ptr> result;
+  result.reserve(replicas.size());
+  for (const std::string& owner : owners) {
+    for (const auto& replica : replicas) {
+      if (replica->name == owner) {
+        result.push_back(replica.get());
+        break;
+      }
+    }
+  }
+  for (const auto& replica : replicas) {
+    if (std::find(result.begin(), result.end(), replica.get()) ==
+        result.end()) {
+      result.push_back(replica.get());
+    }
+  }
+  return result;
+}
+}  // namespace
+
+std::vector<ReplicatedNameService::Replica*>
+ReplicatedNameService::walk_order(const std::string& host,
+                                  const std::string& path) const {
+  MutexLock lock(mu_);
+  if (!have_map_) {
+    std::vector<Replica*> result;
+    result.reserve(replicas_.size());
+    for (const auto& replica : replicas_) result.push_back(replica.get());
+    return result;
+  }
+  return order_for(replicas_, map_.owners(map_.shard_of(host, path)));
+}
+
+std::vector<ReplicatedNameService::Replica*>
+ReplicatedNameService::rule_order(const MappingRule& rule) const {
+  MutexLock lock(mu_);
+  if (!have_map_) {
+    std::vector<Replica*> result;
+    result.reserve(replicas_.size());
+    for (const auto& replica : replicas_) result.push_back(replica.get());
+    return result;
+  }
+  return order_for(replicas_,
+                   map_.owners(map_.shard_of_rule(rule.host_pattern,
+                                                  rule.path_pattern)));
+}
+
+void ReplicatedNameService::refresh_map(bool force) {
+  {
+    MutexLock lock(mu_);
+    if (map_unsupported_ || replicas_.empty()) return;
+    if (!force && have_map_ && options_.map_refresh.count() > 0 &&
+        WallClock::now() - map_fetched_at_ < options_.map_refresh) {
+      return;
+    }
+    // Stamp the attempt so a down cluster is retried once per window,
+    // not once per lookup.
+    map_fetched_at_ = WallClock::now();
+  }
+  for (Replica* replica : replicas_snapshot()) {
+    if (!replica_alive(replica->name)) continue;
+    Result<std::pair<ShardMap, std::vector<ReplicaAddress>>> fetched =
+        replica->control->get_map();
+    if (fetched.is_ok()) {
+      ShardMap& fresh = fetched->first;
+      MutexLock lock(mu_);
+      for (const ReplicaAddress& address : fetched->second) {
+        const bool known = std::any_of(
+            replicas_.begin(), replicas_.end(), [&](const auto& known) {
+              return known->name == address.name;
+            });
+        if (!known) add_replica_locked(address.name, address.endpoint);
+      }
+      if (!have_map_ || fresh.epoch >= map_.epoch) {
+        map_ = std::move(fresh);
+        have_map_ = true;
+      }
+      map_fetched_at_ = WallClock::now();
+      return;
+    }
+    const ErrorCode code = fetched.status().code();
+    if (code != ErrorCode::kUnavailable && code != ErrorCode::kTimeout) {
+      // The replica answered but does not speak kGetMap: a plain
+      // single-master GnsServer deployment. Remember, don't re-ask.
+      MutexLock lock(mu_);
+      map_unsupported_ = true;
+      return;
+    }
+  }
 }
 
 bool ReplicatedNameService::admit(Replica& replica) {
@@ -79,6 +226,7 @@ bool ReplicatedNameService::admit(Replica& replica) {
           std::memory_order_acq_rel, std::memory_order_relaxed)) {
     GnsMetrics::get().breakers_open.sub(1);
     GnsMetrics::get().breakers_half_open.add(1);
+    GnsMetrics::get().breaker_probe.add();
     return true;
   }
   return false;
@@ -151,6 +299,7 @@ std::optional<std::optional<FileMapping>> ReplicatedNameService::fresh_lease(
 
 Result<std::optional<FileMapping>> ReplicatedNameService::lookup(
     const std::string& host, const std::string& path) {
+  refresh_map(/*force=*/false);
   Status last = unavailable("gns: no replicas registered");
   bool degraded = false;  // some replica was skipped or failed first
   // Opened when the first replica fails or is skipped; covers the rest
@@ -163,42 +312,52 @@ Result<std::optional<FileMapping>> ReplicatedNameService::lookup(
                             strings::cat("gns.failover:", replica_name));
     }
   };
-  for (const auto& replica_ptr : replicas_) {
-    Replica& replica = *replica_ptr;
-    if (fault::Plan* plan = fault::armed(); plan != nullptr) {
-      const fault::Decision verdict =
-          plan->consult(fault::Site::kGns, replica.name);
-      if (verdict.action == fault::Decision::Action::kFail ||
-          verdict.action == fault::Decision::Action::kKill) {
+  const auto attempt = [&](const std::vector<Replica*>& order)
+      -> std::optional<Result<std::optional<FileMapping>>> {
+    for (Replica* replica_ptr : order) {
+      Replica& replica = *replica_ptr;
+      if (!replica_alive(replica.name)) {
         last = unavailable(
             strings::cat("injected fault: gns ", replica.name));
         record_failure(replica);
         note_degraded(replica.name);
         continue;
       }
-      if (verdict.action == fault::Decision::Action::kDelay) {
-        fault::sleep_for_model(verdict.delay);
+      if (!admit(replica)) {
+        note_degraded(replica.name);
+        continue;
       }
-    }
-    if (!admit(replica)) {
+      auto result = replica.client->lookup(host, path);
+      if (result.is_ok()) {
+        record_success(replica);
+        if (degraded) GnsMetrics::get().failover.add();
+        store_lease(host, path, *result);
+        return result;
+      }
+      if (result.status().code() != ErrorCode::kUnavailable) {
+        // A definitive answer (bad request, decode failure): every
+        // replica would say the same, so neither fail over nor burn
+        // the breaker.
+        return result;
+      }
+      record_failure(replica);
       note_degraded(replica.name);
-      continue;
+      last = result.status();
     }
-    auto result = replica.client->lookup(host, path);
-    if (result.is_ok()) {
-      record_success(replica);
-      if (degraded) GnsMetrics::get().failover.add();
-      store_lease(host, path, *result);
-      return result;
+    return std::nullopt;
+  };
+
+  if (auto answered = attempt(walk_order(host, path)); answered) {
+    return std::move(*answered);
+  }
+  // Every candidate failed. The map may be stale (mid-reconfiguration):
+  // revalidate once and re-walk under the new epoch before giving up.
+  const std::uint64_t stale_epoch = map_epoch();
+  refresh_map(/*force=*/true);
+  if (map_epoch() != stale_epoch) {
+    if (auto answered = attempt(walk_order(host, path)); answered) {
+      return std::move(*answered);
     }
-    if (result.status().code() != ErrorCode::kUnavailable) {
-      // A definitive answer (bad request, decode failure): every replica
-      // would say the same, so neither fail over nor burn the breaker.
-      return result;
-    }
-    record_failure(replica);
-    note_degraded(replica.name);
-    last = result.status();
   }
   // Total outage: a warm lease keeps in-flight opens on their last known
   // route; a cold lookup fails typed so callers can recover.
@@ -209,8 +368,95 @@ Result<std::optional<FileMapping>> ReplicatedNameService::lookup(
   return last;
 }
 
+Status ReplicatedNameService::write_mapped(const MappingRule& rule,
+                                           bool tombstone) {
+  Status last = unavailable("gns: no replicas registered");
+  for (Replica* replica_ptr : rule_order(rule)) {
+    Replica& replica = *replica_ptr;
+    if (!replica_alive(replica.name)) {
+      last = unavailable(strings::cat("injected fault: gns ", replica.name));
+      continue;
+    }
+    if (!admit(replica)) continue;
+    const Result<std::uint64_t> put_result =
+        replica.control->put(rule, tombstone, /*allow_forward=*/true);
+    if (put_result.is_ok()) {
+      record_success(replica);
+      if (*put_result != map_epoch()) refresh_map(/*force=*/true);
+      return Status::ok();
+    }
+    if (put_result.status().code() == ErrorCode::kUnavailable) {
+      record_failure(replica);
+    }
+    last = put_result.status();
+  }
+  return last;
+}
+
+Status ReplicatedNameService::add_rule(const MappingRule& rule) {
+  refresh_map(/*force=*/false);
+  Status written;
+  if (map_epoch() != 0) {
+    written = write_mapped(rule, /*tombstone=*/false);
+  } else {
+    // Single-master fallback: any healthy replica edits the shared db.
+    written = unavailable("gns: no replicas registered");
+    for (Replica* replica : replicas_snapshot()) {
+      if (!replica_alive(replica->name)) continue;
+      written = replica->client->add_rule(rule);
+      if (written.is_ok()) break;
+    }
+  }
+  if (written.is_ok()) {
+    invalidate_after_write(rule.host_pattern, rule.path_pattern);
+  }
+  return written;
+}
+
+Status ReplicatedNameService::remove_rule(const std::string& host_pattern,
+                                          const std::string& path_pattern) {
+  refresh_map(/*force=*/false);
+  Status written;
+  if (map_epoch() != 0) {
+    MappingRule rule;
+    rule.host_pattern = host_pattern;
+    rule.path_pattern = path_pattern;
+    written = write_mapped(rule, /*tombstone=*/true);
+  } else {
+    written = unavailable("gns: no replicas registered");
+    for (Replica* replica : replicas_snapshot()) {
+      if (!replica_alive(replica->name)) continue;
+      const Result<std::size_t> removed =
+          replica->client->remove_rules(host_pattern, path_pattern);
+      written = removed.is_ok() ? Status::ok() : removed.status();
+      if (written.is_ok()) break;
+    }
+  }
+  if (written.is_ok()) invalidate_after_write(host_pattern, path_pattern);
+  return written;
+}
+
+void ReplicatedNameService::invalidate_after_write(
+    const std::string& host_pattern, const std::string& path_pattern) {
+  // Write-through invalidation: without this, a remap stayed invisible
+  // until every per-replica cache TTL expired — the stale-read window.
+  for (Replica* replica : replicas_snapshot()) {
+    replica->client->invalidate_cache();
+  }
+  MutexLock lock(mu_);
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (strings::glob_match(host_pattern, it->first.first) &&
+        strings::glob_match(path_pattern, it->first.second)) {
+      it = leases_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 BreakerState ReplicatedNameService::breaker_state(
     std::string_view name) const {
+  MutexLock lock(mu_);
   for (const auto& replica : replicas_) {
     if (replica->name == name) {
       return static_cast<BreakerState>(

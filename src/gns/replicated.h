@@ -1,26 +1,33 @@
-// Replicated GNS: one NameService face over N gns::Service replicas.
+// Replicated GNS client face: one NameService over a replica set.
 //
-// The paper treats the GNS as a single point the File Multiplexer must
-// reach on every uncached open; grid deployments that survived treated
-// name services as replicated, degradable components. This layer adds:
+// Against a multi-master deployment (gns::ReplicaNode / GnsCluster) the
+// service is shard-aware: it caches the cluster's ShardMap and walks
+// each key's rendezvous preference list (primary first), so reads land
+// on the replica that coordinated the latest write for that shard.
+// Against plain single-master GnsServers (which do not speak kGetMap)
+// it degrades to the old behaviour — replicas walked in registration
+// order over one shared database.
 //
-//   - per-replica circuit breakers: closed -> open after
-//     `failure_threshold` consecutive kUnavailable lookups, open ->
-//     half-open after a fixed `cooldown` (one probe lookup is admitted),
-//     half-open -> closed on success / back to open on failure;
-//   - failover: a lookup walks replicas in registration order and any
-//     replica's transient failure just moves it to the next one
-//     (`gns.failover` counts lookups that survived this way);
-//   - mapping leases: every successful lookup is cached with a wall TTL
-//     and served only when ALL replicas are down or skipped, so a
-//     workflow holding warm leases rides out a total GNS outage
-//     (`gns.lease.served`) while cold lookups fail typed kUnavailable.
+// Resilience per replica attempt (unchanged machinery):
+//   - circuit breakers: closed -> open after `failure_threshold`
+//     consecutive kUnavailable lookups, open -> half-open after a fixed
+//     `cooldown` (exactly ONE probe is admitted, counted by
+//     gns.breaker.probe), half-open -> closed on success;
+//   - failover: any replica's transient failure moves the walk to the
+//     next candidate (`gns.failover` counts lookups that survived);
+//   - mapping leases: every success is cached with a wall TTL and
+//     served only when every candidate is down (`gns.lease.served`).
 //
-// The breaker hot path (every lookup against a healthy replica) is one
-// relaxed atomic load; state transitions use CAS so racing lookups
-// account each transition exactly once. Fault-plan verdicts at
-// Site::kGns (keyed by replica name) are consulted before any RPC, so
-// `die@gns:*` produces fast typed failures rather than retry stalls.
+// Writes (add_rule/remove_rule) route to the shard's owner and then
+// WRITE-THROUGH INVALIDATE: every per-replica client cache is flushed
+// and matching leases are dropped, closing the stale-read window where
+// a remap was observable only after the client TTL expired.
+//
+// The cached shard map refreshes on a TTL shorter than the cluster's
+// handoff lease, and once more on a total walk failure — so runtime
+// replica add/remove never loses a lookup: stale-map reads hit the old
+// owner (still serving its lease), refreshed-map reads hit the primed
+// new owner.
 #pragma once
 
 #include <atomic>
@@ -35,6 +42,7 @@
 #include <vector>
 
 #include "src/common/thread_annotations.h"
+#include "src/gns/multimaster.h"
 #include "src/gns/service.h"
 
 namespace griddles::gns {
@@ -58,6 +66,10 @@ class ReplicatedNameService final : public NameService {
     std::chrono::milliseconds lease_ttl{30000};
     /// Per-replica client cache TTL (see GnsClient).
     std::chrono::milliseconds client_cache_ttl{200};
+    /// How long a cached ShardMap is trusted before revalidation; must
+    /// stay below the cluster's handoff lease so reconfiguration never
+    /// strands a client on a dropped shard. Zero refetches every lookup.
+    std::chrono::milliseconds map_refresh{500};
     net::WireFormat format = net::WireFormat::kBinary;
   };
 
@@ -66,25 +78,38 @@ class ReplicatedNameService final : public NameService {
       : ReplicatedNameService(transport, Options{}) {}
 
   /// Registers a replica; `name` doubles as the fault-plan site key
-  /// (`die@gns:<name>`). Replicas are tried in registration order.
-  /// Register every replica before the first lookup.
+  /// (`die@gns:<name>`). Multi-master deployments may grow the roster
+  /// later via map refresh; single-master walks follow this order.
   void add_replica(std::string name, net::Endpoint endpoint);
 
-  /// Resolves via the first healthy replica, failing over on transient
-  /// errors; under total outage serves a fresh lease or returns the last
-  /// replica's kUnavailable.
+  /// Resolves via the key's owner preference list (or registration
+  /// order without a map), failing over on transient errors; under
+  /// total outage serves a fresh lease or the last typed error.
   Result<std::optional<FileMapping>> lookup(
       const std::string& host, const std::string& path) override;
 
-  std::size_t replica_count() const { return replicas_.size(); }
+  /// Coordinates a rule write on the shard's owner, then invalidates
+  /// every replica client cache and the leases the rule shadows
+  /// (multi-master; falls back to GnsClient::add_rule without a map).
+  Status add_rule(const MappingRule& rule);
+
+  /// Tombstones the rule keyed (host_pattern, path_pattern).
+  Status remove_rule(const std::string& host_pattern,
+                     const std::string& path_pattern);
+
+  std::size_t replica_count() const;
   BreakerState breaker_state(std::string_view name) const;
   /// Leases currently held (tests).
   std::size_t lease_count() const;
+  /// The cached map's epoch, 0 before any fetch (tests).
+  std::uint64_t map_epoch() const;
 
  private:
   struct Replica {
     std::string name;
-    std::unique_ptr<GnsClient> client;
+    net::Endpoint endpoint;
+    std::unique_ptr<GnsClient> client;   // lookups (kLookup-compatible)
+    std::unique_ptr<PeerClient> control; // writes + map fetch
     // lint: not-a-metric (breaker state machine, exported via gauges)
     std::atomic<std::uint8_t> state{
         static_cast<std::uint8_t>(BreakerState::kClosed)};
@@ -111,13 +136,42 @@ class ReplicatedNameService final : public NameService {
   std::optional<std::optional<FileMapping>> fresh_lease(
       const std::string& host, const std::string& path) const;
 
+  /// Revalidates the cached shard map when missing, expired, or
+  /// `force`d; grows the roster with replicas the cluster added. A
+  /// deployment that does not speak kGetMap is remembered and never
+  /// asked again (single-master mode).
+  void refresh_map(bool force);
+
+  std::vector<Replica*> replicas_snapshot() const;
+  /// Candidate order for (host, path): the shard's map owners first
+  /// (preference order), then every remaining replica as a stale-map
+  /// fallback; without a map, registration order.
+  std::vector<Replica*> walk_order(const std::string& host,
+                                   const std::string& path) const;
+  /// Candidate order for a rule write (shard_of_rule instead of
+  /// shard_of; glob rules route to the broadcast shard's owners).
+  std::vector<Replica*> rule_order(const MappingRule& rule) const;
+  void add_replica_locked(std::string name, net::Endpoint endpoint)
+      REQUIRES(mu_);
+  /// Multi-master write: coordinate on the first healthy owner.
+  Status write_mapped(const MappingRule& rule, bool tombstone);
+
+  /// Flushes every replica client cache and drops the leases matched
+  /// by (host_pattern, path_pattern) — the write-through invalidation.
+  void invalidate_after_write(const std::string& host_pattern,
+                              const std::string& path_pattern);
+
   net::Transport& transport_;
   const Options options_;
-  std::vector<std::unique_ptr<Replica>> replicas_;  // fixed after setup
 
   mutable Mutex mu_;
+  std::vector<std::unique_ptr<Replica>> replicas_ GUARDED_BY(mu_);
   std::map<std::pair<std::string, std::string>, Lease> leases_
       GUARDED_BY(mu_);
+  ShardMap map_ GUARDED_BY(mu_);
+  bool have_map_ GUARDED_BY(mu_) = false;
+  bool map_unsupported_ GUARDED_BY(mu_) = false;
+  WallClock::time_point map_fetched_at_ GUARDED_BY(mu_){};
 };
 
 }  // namespace griddles::gns

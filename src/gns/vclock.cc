@@ -1,0 +1,85 @@
+#include "src/gns/vclock.h"
+
+#include "src/common/strings.h"
+
+namespace griddles::gns {
+
+std::string_view vorder_name(VOrder order) noexcept {
+  switch (order) {
+    case VOrder::kEqual: return "equal";
+    case VOrder::kBefore: return "before";
+    case VOrder::kAfter: return "after";
+    case VOrder::kConcurrent: return "concurrent";
+  }
+  return "?";
+}
+
+void VClock::bump(const std::string& replica) { ++counters_[replica]; }
+
+std::uint64_t VClock::count(const std::string& replica) const {
+  const auto it = counters_.find(replica);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void VClock::join(const VClock& other) {
+  for (const auto& [replica, counter] : other.counters_) {
+    auto& mine = counters_[replica];
+    if (counter > mine) mine = counter;
+  }
+}
+
+VOrder VClock::compare(const VClock& other) const {
+  bool less = false;   // some counter of ours is behind other's
+  bool more = false;   // some counter of ours is ahead of other's
+  for (const auto& [replica, counter] : counters_) {
+    const std::uint64_t theirs = other.count(replica);
+    if (counter > theirs) more = true;
+    if (counter < theirs) less = true;
+  }
+  for (const auto& [replica, counter] : other.counters_) {
+    if (count(replica) < counter) less = true;
+  }
+  if (less && more) return VOrder::kConcurrent;
+  if (less) return VOrder::kBefore;
+  if (more) return VOrder::kAfter;
+  return VOrder::kEqual;
+}
+
+std::uint64_t VClock::height() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& [replica, counter] : counters_) sum += counter;
+  return sum;
+}
+
+std::string VClock::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [replica, counter] : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += strings::cat(replica, ":", counter);
+  }
+  out.push_back('}');
+  return out;
+}
+
+void VClock::encode(xdr::Encoder& enc) const {
+  enc.put_u32(static_cast<std::uint32_t>(counters_.size()));
+  for (const auto& [replica, counter] : counters_) {
+    enc.put_string(replica);
+    enc.put_u64(counter);
+  }
+}
+
+Result<VClock> VClock::decode(xdr::Decoder& dec) {
+  VClock clock;
+  GL_ASSIGN_OR_RETURN(const std::uint32_t count, dec.u32());
+  for (std::uint32_t i = 0; i < count; ++i) {
+    GL_ASSIGN_OR_RETURN(std::string replica, dec.string());
+    GL_ASSIGN_OR_RETURN(const std::uint64_t counter, dec.u64());
+    clock.counters_[std::move(replica)] = counter;
+  }
+  return clock;
+}
+
+}  // namespace griddles::gns

@@ -1,0 +1,69 @@
+// Vector clocks for multi-master GNS replication.
+//
+// Every versioned mapping value carries one VClock: a per-replica
+// counter map. A replica coordinating a write bumps its own counter over
+// the version it read, so causally-ordered writes compare kBefore/kAfter
+// and writes issued on different replicas during a partition compare
+// kConcurrent — detectable divergence instead of silent last-writer-wins
+// (cf. the semilattice-join vclock metadata rethinkdb threads through
+// its cluster membership).
+//
+// The join (pointwise max) is a semilattice operation — commutative,
+// associative, idempotent — which is what lets anti-entropy repair merge
+// replica states in any order and still converge.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/xdr/codec.h"
+
+namespace griddles::gns {
+
+/// Partial order between two vector clocks.
+enum class VOrder : std::uint8_t {
+  kEqual,
+  kBefore,      // this happened-before other
+  kAfter,       // other happened-before this
+  kConcurrent,  // neither dominates: divergent writes
+};
+
+std::string_view vorder_name(VOrder order) noexcept;
+
+class VClock {
+ public:
+  VClock() = default;
+
+  /// Increments `replica`'s counter (a write coordinated there).
+  void bump(const std::string& replica);
+
+  std::uint64_t count(const std::string& replica) const;
+
+  /// Pointwise max with `other` (the semilattice join).
+  void join(const VClock& other);
+
+  VOrder compare(const VClock& other) const;
+
+  bool empty() const noexcept { return counters_.empty(); }
+  std::size_t size() const noexcept { return counters_.size(); }
+
+  /// Sum of all counters: a Lamport-style height used only for
+  /// deterministic conflict ranking, never for causality.
+  std::uint64_t height() const noexcept;
+
+  /// "{n0:2,n1:1}" — stable (sorted) rendering for digests and logs.
+  std::string to_string() const;
+
+  void encode(xdr::Encoder& enc) const;
+  static Result<VClock> decode(xdr::Decoder& dec);
+
+  friend bool operator==(const VClock&, const VClock&) = default;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace griddles::gns

@@ -88,6 +88,8 @@ std::string_view span_kind_name(SpanKind kind) noexcept {
       return "recovery";
     case SpanKind::kRelay:
       return "relay";
+    case SpanKind::kConflict:
+      return "conflict";
     case SpanKind::kOther:
       return "other";
   }

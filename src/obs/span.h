@@ -61,6 +61,7 @@ enum class SpanKind : std::uint8_t {
   kFailover,    // a replica failure survived by moving to the next one
   kRecovery,    // a failed stage re-run via the fallback coupling
   kRelay,       // one multicast relay hop (write + forward to children)
+  kConflict,    // one divergent GNS write pair joined deterministically
   kOther,
 };
 

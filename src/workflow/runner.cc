@@ -9,6 +9,7 @@
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/core/tailing_client.h"
+#include "src/gns/antientropy.h"
 #include "src/gns/replicated.h"
 #include "src/gns/service.h"
 #include "src/obs/metrics.h"
@@ -149,12 +150,12 @@ const TaskResult* WorkflowReport::task(const std::string& name) const {
 }
 
 struct WorkflowRunner::RunContext {
-  gns::Database db;
   std::unique_ptr<net::Transport> service_transport;
-  // N replica servers over the one `db` (in-process, so the replicas are
-  // perfectly synchronized); each task fronts them with a
-  // ReplicatedNameService. Names ("gns-0"...) are the fault site keys.
-  std::vector<std::unique_ptr<gns::GnsServer>> gns_servers;
+  // Multi-master GNS: `gns_replicas` nodes, each owning its own store
+  // copy, sharded by rendezvous hash and converged by anti-entropy;
+  // each task fronts them with a ReplicatedNameService. Names
+  // ("gns-0"...) are the fault site keys.
+  std::unique_ptr<gns::GnsCluster> gns;
   std::vector<std::pair<std::string, net::Endpoint>> gns_endpoints;
 
   std::unique_ptr<CheckpointLog> checkpoint;
@@ -199,19 +200,28 @@ Result<WorkflowReport> WorkflowRunner::run(const WorkflowSpec& spec,
   }
 
   // The GNS lives with the first task's machine (paper §3.2: each
-  // workflow may have its own GNS), replicated `gns_replicas` times.
+  // workflow may have its own GNS), replicated `gns_replicas` times as
+  // a multi-master cluster: the namespace is sharded across replicas,
+  // every write is vector-clock versioned, and the background
+  // anti-entropy loop repairs whatever fault injection diverges.
   const std::string& gns_host = spec.tasks.front().machine;
   ctx.service_transport = testbed_.transport(gns_host);
+  gns::GnsCluster::Options cluster_options;
+  cluster_options.num_shards =
+      static_cast<std::uint32_t>(std::max(1, options.gns_shards));
+  cluster_options.ae_interval = std::chrono::milliseconds(100);
+  ctx.gns = std::make_unique<gns::GnsCluster>(*ctx.service_transport,
+                                              cluster_options);
   const int replicas = std::max(1, options.gns_replicas);
   for (int i = 0; i < replicas; ++i) {
-    auto server = std::make_unique<gns::GnsServer>(
-        ctx.db, *ctx.service_transport,
+    GL_RETURN_IF_ERROR(ctx.gns->add_replica(
+        strings::cat("gns-", i),
         net::inproc_endpoint(gns_host,
-                             strings::cat("gns-", ctx.run_tag, "-", i)));
-    GL_RETURN_IF_ERROR(server->start());
-    ctx.gns_endpoints.emplace_back(strings::cat("gns-", i),
-                                   server->endpoint());
-    ctx.gns_servers.push_back(std::move(server));
+                             strings::cat("gns-", ctx.run_tag, "-", i))));
+  }
+  GL_RETURN_IF_ERROR(ctx.gns->start());
+  for (const gns::ReplicaAddress& replica : ctx.gns->endpoints()) {
+    ctx.gns_endpoints.emplace_back(replica.name, replica.endpoint);
   }
 
   if (!options.checkpoint_path.empty()) {
@@ -386,7 +396,17 @@ Result<WorkflowReport> WorkflowRunner::run(const WorkflowSpec& spec,
   // Tear down per-run services.
   for (auto& [machine, server] : ctx.buffer_servers) server->stop();
   for (auto& [machine, server] : ctx.file_servers) server->stop();
-  for (auto& server : ctx.gns_servers) server->stop();
+  if (ctx.gns) {
+    // A run that armed (and healed) a partition may leave replicas
+    // divergent; drain the remaining deltas so post-run assertions see
+    // a converged namespace. Still-armed faults make this best-effort.
+    const Status converged = ctx.gns->converge(/*max_rounds=*/8);
+    if (!converged.is_ok()) {
+      GL_LOG(kWarn, "gns cluster did not converge at teardown: ",
+             converged);
+    }
+    ctx.gns->stop();
+  }
   return report;
 }
 
@@ -443,7 +463,7 @@ Status WorkflowRunner::install_rules(const WorkflowSpec& spec,
           rule.path_pattern = canonical_in(ctx.dirs.at(machine), edge.path);
           rule.mapping.mode = gns::IoMode::kLocal;
           rule.mapping.tail = true;
-          ctx.db.add_rule(rule);
+          GL_RETURN_IF_ERROR(ctx.gns->add_rule(rule));
         }
       }
       return Status::ok();
@@ -516,7 +536,7 @@ Status WorkflowRunner::install_rules(const WorkflowSpec& spec,
         producer_rule.path_pattern = canonical_in(
             ctx.dirs.at(spec.tasks[edge.producer].machine), edge.path);
         producer_rule.mapping = mapping;
-        ctx.db.add_rule(producer_rule);
+        GL_RETURN_IF_ERROR(ctx.gns->add_rule(producer_rule));
 
         for (const std::size_t consumer : edge.consumers) {
           gns::MappingRule consumer_rule;
@@ -524,7 +544,7 @@ Status WorkflowRunner::install_rules(const WorkflowSpec& spec,
           consumer_rule.path_pattern = canonical_in(
               ctx.dirs.at(spec.tasks[consumer].machine), edge.path);
           consumer_rule.mapping = mapping;
-          ctx.db.add_rule(consumer_rule);
+          GL_RETURN_IF_ERROR(ctx.gns->add_rule(consumer_rule));
         }
       }
       return Status::ok();
@@ -620,7 +640,7 @@ Status WorkflowRunner::install_broadcast_edge(
   producer_rule.path_pattern =
       canonical_in(ctx.dirs.at(producer_machine), edge.path);
   producer_rule.mapping = producer_mapping;
-  ctx.db.add_rule(producer_rule);
+  GL_RETURN_IF_ERROR(ctx.gns->add_rule(producer_rule));
 
   // Every consumer reads from its machine-local server (producer-machine
   // consumers from the first hop's).
@@ -636,7 +656,7 @@ Status WorkflowRunner::install_broadcast_edge(
     rule.host_pattern = machine;
     rule.path_pattern = canonical_in(ctx.dirs.at(machine), edge.path);
     rule.mapping = mapping;
-    ctx.db.add_rule(rule);
+    GL_RETURN_IF_ERROR(ctx.gns->add_rule(rule));
   }
   return Status::ok();
 }
@@ -823,9 +843,10 @@ Status WorkflowRunner::recover_failed_tasks(
   GL_LOG(kWarn, "recovering ", failed.size(),
          " failed stage(s) via staged-file remap");
 
-  // GNS lookup takes the last matching rule, so appending kLocal
-  // mappings flips the failed stages' edges — and only those — to the
-  // staged-file discipline. Inputs from producers that succeeded keep
+  // A re-written (host, path) key supersedes the old mapping (higher
+  // Lamport priority wins the lookup), so writing kLocal rules flips
+  // the failed stages' edges — and only those — to the staged-file
+  // discipline. Inputs from producers that succeeded keep
   // their original mapping: a closed Grid Buffer channel replays its
   // cache file to the fresh reader, and a tailed file is complete on
   // disk with its done marker published.
@@ -837,7 +858,7 @@ Status WorkflowRunner::recover_failed_tasks(
       rule.host_pattern = task.machine;
       rule.path_pattern = canonical_in(ctx.dirs.at(task.machine), edge.path);
       rule.mapping.mode = gns::IoMode::kLocal;
-      ctx.db.add_rule(rule);
+      GL_RETURN_IF_ERROR(ctx.gns->add_rule(rule));
       for (const std::size_t consumer : edge.consumers) {
         if (!rerun.contains(consumer)) continue;
         const std::string& machine = spec.tasks[consumer].machine;
@@ -846,7 +867,7 @@ Status WorkflowRunner::recover_failed_tasks(
         consumer_rule.path_pattern =
             canonical_in(ctx.dirs.at(machine), edge.path);
         consumer_rule.mapping.mode = gns::IoMode::kLocal;
-        ctx.db.add_rule(consumer_rule);
+        GL_RETURN_IF_ERROR(ctx.gns->add_rule(consumer_rule));
       }
     }
   }

@@ -96,10 +96,15 @@ class WorkflowRunner {
     int multicast_fanout = 4;
     /// Fail a stuck run after this much wall time per buffer read.
     std::uint64_t read_deadline_ms = 120000;
-    /// GNS replication factor: this many replica servers (all over the
-    /// run's one database) behind a ReplicatedNameService per task, so
-    /// a replica loss mid-lookup fails over instead of failing a stage.
+    /// GNS replication factor: this many multi-master replica nodes
+    /// (each owning its own store copy, converged by anti-entropy)
+    /// behind a ReplicatedNameService per task, so a replica loss
+    /// mid-lookup fails over instead of failing a stage.
     int gns_replicas = 1;
+    /// Shards the GNS namespace is hashed into (rendezvous-assigned to
+    /// replicas; glob rules live in a broadcast shard every replica
+    /// owns). More shards spread load and shrink anti-entropy deltas.
+    int gns_shards = 8;
     /// Append-only journal of completed stages and staging copies
     /// (sequential-files mode only). A fresh file starts journaling; an
     /// existing one resumes the run, re-running only incomplete stages.

@@ -4,10 +4,12 @@
 // crash-restartable workflow checkpoint journal.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <thread>
+#include <vector>
 
 #include "src/common/strings.h"
 #include "src/common/tempfile.h"
@@ -157,6 +159,72 @@ TEST_F(ReplicatedGnsTest, OpenBreakerRecoversThroughHalfOpenProbe) {
   EXPECT_EQ(service->breaker_state("gns-0"), gns::BreakerState::kClosed);
   EXPECT_EQ(counter_value("gns.breaker.recovered"), 1u);
   EXPECT_EQ(gauge_value("gns.breaker.open"), 0);
+}
+
+TEST_F(ReplicatedGnsTest, WriteThroughInvalidationBeatsClientCacheTtl) {
+  // TTLs far beyond the test's lifetime: without write-through
+  // invalidation every remap below would stay invisible until the
+  // client cache expired (the stale-read window this closes).
+  gns::ReplicatedNameService::Options options;
+  options.client_cache_ttl = std::chrono::seconds(30);
+  options.lease_ttl = std::chrono::seconds(30);
+  auto service = make_service(options);
+
+  auto before = service->lookup("jagan", "/work/w.dat");
+  ASSERT_TRUE(before.is_ok()) << before.status();
+  ASSERT_TRUE(before->has_value());
+  EXPECT_EQ((*before)->mode, gns::IoMode::kLocal);
+
+  // Remap the file while the old mapping is cached and leased.
+  gns::MappingRule remap;
+  remap.host_pattern = "jagan";
+  remap.path_pattern = "/work/w.dat";
+  remap.mapping.mode = gns::IoMode::kGridBuffer;
+  ASSERT_TRUE(service->add_rule(remap).is_ok());
+
+  auto after = service->lookup("jagan", "/work/w.dat");
+  ASSERT_TRUE(after.is_ok()) << after.status();
+  ASSERT_TRUE(after->has_value());
+  EXPECT_EQ((*after)->mode, gns::IoMode::kGridBuffer);
+
+  // Removal is equally immediate: back to the glob default.
+  ASSERT_TRUE(service->remove_rule("jagan", "/work/w.dat").is_ok());
+  auto removed = service->lookup("jagan", "/work/w.dat");
+  ASSERT_TRUE(removed.is_ok()) << removed.status();
+  ASSERT_TRUE(removed->has_value());
+  EXPECT_EQ((*removed)->mode, gns::IoMode::kLocal);
+}
+
+TEST_F(ReplicatedGnsTest, HalfOpenAdmitsExactlyOneProbe) {
+  gns::ReplicatedNameService::Options options;
+  options.failure_threshold = 1;
+  options.cooldown = std::chrono::milliseconds(20);
+  auto service = make_service(options);
+  {
+    ArmedPlan armed("seed=1;die@gns:gns-0");
+    ASSERT_TRUE(service->lookup("jagan", "/work/a.dat").is_ok());
+    EXPECT_EQ(service->breaker_state("gns-0"), gns::BreakerState::kOpen);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  // Many concurrent lookups race for the half-open slot. The
+  // open->half-open transition is a single CAS, so exactly one caller
+  // wins the probe; the losers observe kHalfOpen and fail over to
+  // gns-1 instead of piling onto the recovering replica.
+  const std::uint64_t probes_before = counter_value("gns.breaker.probe");
+  std::vector<std::thread> lookups;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < 8; ++i) {
+    lookups.emplace_back([&service, &failures] {
+      auto result = service->lookup("jagan", "/work/a.dat");
+      if (!result.is_ok() || !result->has_value()) failures.fetch_add(1);
+    });
+  }
+  for (std::thread& t : lookups) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(counter_value("gns.breaker.probe") - probes_before, 1u);
+  EXPECT_EQ(service->breaker_state("gns-0"), gns::BreakerState::kClosed);
+  EXPECT_EQ(counter_value("gns.breaker.recovered"), 1u);
 }
 
 // ---------------------------------------------------------------------
