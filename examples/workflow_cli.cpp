@@ -22,6 +22,14 @@
 // Fault injection (see DESIGN.md §7, README "Fault injection"):
 //   --faults=<spec>      arm a deterministic fault plan for the run,
 //                        e.g. --faults='seed=7;drop@rpc:*>vpac27:p=0.2'
+//                        or an overload burst: 'burst@rpc:*:factor=8'
+//
+// Overload robustness (see DESIGN.md §14):
+//   --deadline=<model s> end-to-end budget for the run; it propagates
+//                        across every RPC hop, and expired work is
+//                        rejected with DEADLINE_EXCEEDED instead of
+//                        executing late. (Also `deadline =` in
+//                        [workflow].) 0 = no budget.
 //
 // Crash restart (see DESIGN.md "Control-plane resilience"):
 //   --checkpoint=<file>  journal completed stages/copies; rerunning with
@@ -114,6 +122,7 @@ struct CliOptions {
   std::string scratch_dir;
   int fanout = -1;  // --fanout= override; -1 defers to workflow.fanout
   int gns_shards = -1;  // --gns-shards= override; -1 defers to the ini
+  double deadline_s = -1;  // --deadline= (model s); -1 defers to the ini
 };
 
 Result<int> run_from_config(const Config& config, const CliOptions& cli) {
@@ -240,6 +249,12 @@ Result<int> run_from_config(const Config& config, const CliOptions& cli) {
           : static_cast<int>(config.get_int_or(
                 "workflow.fanout", options.multicast_fanout));
   options.checkpoint_path = cli.checkpoint_path;
+  // End-to-end run deadline in model seconds: --deadline= beats the ini
+  // key; 0 (the default) runs without a budget.
+  options.deadline_s =
+      cli.deadline_s >= 0
+          ? cli.deadline_s
+          : config.get_double_or("workflow.deadline", 0);
 
   std::printf("running '%s' (%s, %.0fx time compression)...\n",
               name.c_str(),
@@ -354,6 +369,8 @@ int main(int argc, char** argv) {
       cli.gns_shards = std::atoi(arg.c_str() + 13);
     } else if (strings::starts_with(arg, "--scratch=")) {
       cli.scratch_dir = arg.substr(10);
+    } else if (strings::starts_with(arg, "--deadline=")) {
+      cli.deadline_s = std::atof(arg.c_str() + 11);
     } else if (input.empty()) {
       input = arg;
     } else {
@@ -366,6 +383,7 @@ int main(int argc, char** argv) {
                  "[--spans=<file|->] [--faults=<spec>] "
                  "[--checkpoint=<file>] [--scratch=<dir>] "
                  "[--fanout=<n>] [--gns-shards=<n>] "
+                 "[--deadline=<model s>] "
                  "<workflow.ini> | --demo\n",
                  argv[0]);
     return 2;

@@ -1,0 +1,43 @@
+#include "src/common/deadline.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace griddles {
+
+namespace {
+thread_local std::optional<WallClock::time_point> tls_deadline;
+}  // namespace
+
+std::optional<WallClock::time_point> current_deadline() noexcept {
+  return tls_deadline;
+}
+
+std::optional<Duration> remaining_budget() noexcept {
+  if (!tls_deadline) return std::nullopt;
+  return *tls_deadline - WallClock::now();
+}
+
+bool deadline_expired() noexcept {
+  return tls_deadline && WallClock::now() >= *tls_deadline;
+}
+
+Status check_deadline(const char* what) {
+  if (deadline_expired()) {
+    return deadline_exceeded(strings::cat(what, ": budget exhausted"));
+  }
+  return Status::ok();
+}
+
+ScopedDeadline::ScopedDeadline(
+    std::optional<WallClock::time_point> deadline) noexcept
+    : saved_(tls_deadline) {
+  if (deadline) {
+    tls_deadline = saved_ ? std::min(*saved_, *deadline) : *deadline;
+  }
+}
+
+ScopedDeadline::~ScopedDeadline() { tls_deadline = saved_; }
+
+}  // namespace griddles

@@ -37,6 +37,24 @@ class BoundedQueue {
     return true;
   }
 
+  /// As push(), but gives up at the wall deadline: false when the queue
+  /// stayed full through the deadline or was closed (item not enqueued).
+  bool push_until(T item, std::chrono::steady_clock::time_point deadline) {
+    {
+      MutexLock lock(mu_);
+      // lint: blocking-ok (monitor wait: releases mu_; bounded by deadline)
+      if (!not_full_.wait_until(mu_, deadline, [&]() REQUIRES(mu_) {
+            return closed_ || !full_locked();
+          })) {
+        return false;
+      }
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Non-blocking push; false when full or closed.
   bool try_push(T item) {
     {

@@ -20,6 +20,7 @@ std::string_view error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
     case ErrorCode::kInternal: return "INTERNAL";
     case ErrorCode::kDataLoss: return "DATA_LOSS";
+    case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -82,6 +83,9 @@ Status internal_error(std::string msg) {
 }
 Status data_loss(std::string msg) {
   return {ErrorCode::kDataLoss, std::move(msg)};
+}
+Status deadline_exceeded(std::string msg) {
+  return {ErrorCode::kDeadlineExceeded, std::move(msg)};
 }
 
 }  // namespace griddles

@@ -33,6 +33,8 @@ enum class ErrorCode {
   kInternal,
   kDataLoss,       // payload verifiably wrong/incomplete: checksum
                    // mismatch, truncated transfer, dead stream peer
+  kDeadlineExceeded,  // the caller's end-to-end budget ran out; the
+                      // work was rejected or abandoned, not attempted
 };
 
 /// Human-readable name for an error code ("NOT_FOUND", ...).
@@ -84,6 +86,7 @@ Status aborted_error(std::string msg);
 Status unimplemented(std::string msg);
 Status internal_error(std::string msg);
 Status data_loss(std::string msg);
+Status deadline_exceeded(std::string msg);
 
 /// Either a value of type T or an error Status. Never holds an OK status.
 template <typename T>

@@ -18,6 +18,7 @@ struct FaultMetrics {
   obs::Counter& corrupt;
   obs::Counter& peer_death;
   obs::Counter& partition;
+  obs::Counter& burst;
 
   static FaultMetrics& get() {
     auto& registry = obs::MetricsRegistry::global();
@@ -29,6 +30,7 @@ struct FaultMetrics {
         registry.counter("fault.injected.corrupt"),
         registry.counter("fault.injected.peer_death"),
         registry.counter("fault.injected.partition"),
+        registry.counter("fault.injected.burst"),
     };
     return metrics;
   }
@@ -42,6 +44,7 @@ struct FaultMetrics {
       case Op::kCorrupt: return corrupt;
       case Op::kPeerDeath: return peer_death;
       case Op::kPartition: return partition;
+      case Op::kBurst: return burst;
     }
     return drop;
   }
@@ -63,6 +66,7 @@ std::string_view op_name(Op op) noexcept {
     case Op::kCorrupt: return "corrupt";
     case Op::kPeerDeath: return "die";
     case Op::kPartition: return "partition";
+    case Op::kBurst: return "burst";
   }
   return "?";
 }
@@ -77,6 +81,7 @@ std::string_view site_name(Site site) noexcept {
     case Site::kNws: return "nws";
     case Site::kRelay: return "relay";
     case Site::kGnsSync: return "gns";  // grammar: partition@gns:<a>-<b>
+    case Site::kAdmission: return "rpc";  // grammar: burst@rpc:<key>
   }
   return "?";
 }
@@ -107,6 +112,7 @@ Result<Op> parse_op(std::string_view name) {
   if (name == "corrupt") return Op::kCorrupt;
   if (name == "die") return Op::kPeerDeath;
   if (name == "partition") return Op::kPartition;
+  if (name == "burst") return Op::kBurst;
   return invalid_argument(strings::cat("fault spec: unknown op '", name,
                                        "'"));
 }
@@ -147,6 +153,11 @@ Status apply_param(Rule& rule, std::string_view key, std::string_view value) {
     rule.delay_s = *number;
   } else if (key == "after") {
     rule.after_bytes = static_cast<std::uint64_t>(*number);
+  } else if (key == "factor") {
+    if (*number < 1) {
+      return invalid_argument("fault spec: factor must be >= 1");
+    }
+    rule.burst_factor = *number;
   } else if (key == "offset") {
     rule.corrupt_offset = static_cast<std::uint64_t>(*number);
   } else if (key == "len") {
@@ -198,6 +209,17 @@ Result<std::shared_ptr<Plan>> Plan::parse(const std::string& spec) {
             "fault spec: '", segment, "': partition only applies @gns"));
       }
       rule.site = Site::kGnsSync;
+    }
+    // `burst@rpc:<key>` injects synthetic overload into a server's
+    // admission controller (Site::kAdmission, keyed by the server's
+    // site key), not into client calls — remap so drop/delay@rpc rule
+    // state is untouched by admission consults.
+    if (rule.op == Op::kBurst) {
+      if (rule.site != Site::kRpc) {
+        return invalid_argument(strings::cat(
+            "fault spec: '", segment, "': burst only applies @rpc"));
+      }
+      rule.site = Site::kAdmission;
     }
 
     // The tail after the last ':' is a param list; everything between
@@ -284,8 +306,9 @@ Decision Plan::consult(Site site, std::string_view key,
                     ? true
                     : bytes >= rule.after_bytes;
         break;
-      case Op::kPartition: {
-        // Severed during the model window [at=, until=); until=0 means
+      case Op::kPartition:
+      case Op::kBurst: {
+        // Active during the model window [at=, until=); until=0 means
         // "while the plan is armed". Without a clock the window can't be
         // evaluated, so the rule fires whenever it is armed (tests heal
         // by disarming).
@@ -321,6 +344,7 @@ Decision Plan::consult(Site site, std::string_view key,
     // dead relay) must keep failing.
     const bool permanent =
         rule.op == Op::kCrash || rule.op == Op::kPartition ||
+        rule.op == Op::kBurst ||
         (rule.op == Op::kPeerDeath &&
          (site == Site::kGns || site == Site::kNws ||
           site == Site::kRelay));
@@ -351,6 +375,10 @@ Decision Plan::consult(Site site, std::string_view key,
         return decision;
       case Op::kPartition:
         decision.action = Decision::Action::kSever;
+        return decision;
+      case Op::kBurst:
+        decision.action = Decision::Action::kBurst;
+        decision.factor = rule.burst_factor;
         return decision;
     }
   }

@@ -44,6 +44,8 @@ enum class Op : std::uint8_t {
   kPeerDeath, // Grid Buffer writer dies once the channel passes `after=`
   kPartition, // severs inter-replica GNS sync for a replica pair; model
               // window [at=, until=) — heals at `until=` (0 = while armed)
+  kBurst,     // admission control accounts factor= times the real cost
+              // in the model window [at=, until=) — synthetic overload
 };
 
 std::string_view op_name(Op op) noexcept;
@@ -64,8 +66,11 @@ std::string_view op_name(Op op) noexcept;
 ///            `gns` in the grammar: `partition@gns:<a>-<b>` parses to
 ///            this site, so client lookups (kGns, keyed by one replica
 ///            name) are never severed by a partition rule.
+///   kAdmission — site key of a server's AdmissionController. Spelled
+///            `rpc` in the grammar: `burst@rpc:<key>` parses to this
+///            site, so client-call rules (kRpc) never see burst state.
 enum class Site : std::uint8_t {
-  kRpc, kLink, kCopy, kPeer, kGns, kNws, kRelay, kGnsSync,
+  kRpc, kLink, kCopy, kPeer, kGns, kNws, kRelay, kGnsSync, kAdmission,
 };
 
 std::string_view site_name(Site site) noexcept;
@@ -90,6 +95,8 @@ struct Rule {
   double delay_s = 0;         // delay: extra seconds to add
   std::uint64_t after_bytes = 0;  // peer death: channel high-water mark
 
+  double burst_factor = 4.0;  // burst: admission cost multiplier
+
   /// corrupt: byte range to flip within the delivered chunk (`offset=`,
   /// `len=`), clamped to the chunk. Defaults mutate the first byte, which
   /// chunk-aligned checksums always catch; a mid-chunk range exercises
@@ -108,9 +115,11 @@ struct Decision {
     kCorrupt,   // deliver mutated data
     kKill,      // peer death: fail the channel permanently (kDataLoss)
     kSever,     // partition: this peer-sync message never arrives
+    kBurst,     // overload: account factor x the real admission cost
   };
   Action action = Action::kNone;
   Duration delay = Duration::zero();
+  double factor = 1.0;               // kBurst: admission cost multiplier
   std::uint64_t corrupt_offset = 0;  // kCorrupt: first byte to flip
   std::uint64_t corrupt_len = 1;     // kCorrupt: bytes to flip
 

@@ -1,5 +1,7 @@
 #include "src/fault/retry.h"
 
+#include <algorithm>
+
 #include "src/fault/plan.h"
 #include "src/obs/metrics.h"
 
@@ -25,6 +27,48 @@ void note_retry_attempt() {
   static obs::Counter& attempts =
       obs::MetricsRegistry::global().counter("retry.attempts");
   attempts.add();
+}
+
+RetryBudget& RetryBudget::global() {
+  static RetryBudget budget;
+  return budget;
+}
+
+double& RetryBudget::bucket_locked(std::uint64_t peer_key) {
+  const auto it = tokens_.find(peer_key);
+  if (it != tokens_.end()) return it->second;
+  return tokens_.emplace(peer_key, options_.burst).first->second;
+}
+
+void RetryBudget::note_fresh(std::uint64_t peer_key) {
+  MutexLock lock(mu_);
+  double& balance = bucket_locked(peer_key);
+  balance = std::min(options_.burst, balance + options_.earn_per_fresh);
+}
+
+bool RetryBudget::acquire(std::uint64_t peer_key) {
+  static obs::Counter& exhausted =
+      obs::MetricsRegistry::global().counter("retry.budget.exhausted");
+  bool granted;
+  {
+    MutexLock lock(mu_);
+    double& balance = bucket_locked(peer_key);
+    granted = balance >= 1.0;
+    if (granted) balance -= 1.0;
+  }
+  if (!granted) exhausted.add();
+  return granted;
+}
+
+double RetryBudget::tokens(std::uint64_t peer_key) const {
+  MutexLock lock(mu_);
+  const auto it = tokens_.find(peer_key);
+  return it != tokens_.end() ? it->second : options_.burst;
+}
+
+void RetryBudget::reset() {
+  MutexLock lock(mu_);
+  tokens_.clear();
 }
 
 }  // namespace griddles::fault

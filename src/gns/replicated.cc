@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "src/common/deadline.h"
 #include "src/common/strings.h"
 #include "src/fault/plan.h"
 #include "src/obs/metrics.h"
@@ -316,6 +317,12 @@ Result<std::optional<FileMapping>> ReplicatedNameService::lookup(
       -> std::optional<Result<std::optional<FileMapping>>> {
     for (Replica* replica_ptr : order) {
       Replica& replica = *replica_ptr;
+      // An expired budget ends the failover walk: trying yet another
+      // replica only delays an answer the caller can no longer use.
+      if (deadline_expired()) {
+        return Result<std::optional<FileMapping>>(
+            check_deadline("gns failover walk"));
+      }
       if (!replica_alive(replica.name)) {
         last = unavailable(
             strings::cat("injected fault: gns ", replica.name));

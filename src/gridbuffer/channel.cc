@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <optional>
 
+#include "src/common/deadline.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/fault/plan.h"
@@ -26,6 +27,7 @@ struct GbMetrics {
   obs::Counter& cache_hits;     // reads served from the spill cache file
   obs::Counter& blocks_evicted;
   obs::Counter& readers_added;
+  obs::Counter& backpressure_waits;  // writes stalled on the unread bound
 
   static GbMetrics& get() {
     auto& registry = obs::MetricsRegistry::global();
@@ -37,6 +39,7 @@ struct GbMetrics {
         registry.counter("gridbuffer.cache.hits"),
         registry.counter("gridbuffer.blocks.evicted"),
         registry.counter("gridbuffer.readers.added"),
+        registry.counter("gridbuffer.backpressure.waits"),
     };
     return metrics;
   }
@@ -188,6 +191,47 @@ Status Channel::write(std::uint64_t offset, ByteSpan data) {
     }
   }
 
+  // Any blocked stall below is additionally bounded by the ambient
+  // end-to-end budget (src/common/deadline.h): an expired writer gives
+  // up with kDeadlineExceeded instead of buffering into a stall.
+  const std::optional<WallClock::time_point> budget = current_deadline();
+
+  // Opt-in backpressure on *unread* data: even when the spill cache
+  // would absorb table overflow, the frontier may not outrun the
+  // slowest reader by more than max_unread_bytes.
+  while (config_.max_unread_bytes > 0 && !shutdown_ && !writer_failed_ &&
+         !writer_closed_) {
+    const std::uint64_t consumed = min_consumed_locked();
+    const std::uint64_t would_be = std::max(frontier_, offset + data.size());
+    if (would_be <= consumed ||
+        would_be - consumed <= config_.max_unread_bytes) {
+      break;
+    }
+    if (!wait_span) {
+      wait_span.emplace(obs::SpanKind::kBufferWait,
+                        strings::cat("gbuf.write_wait:", name_));
+      GbMetrics::get().backpressure_waits.add();
+    }
+    if (budget) {
+      // lint: blocking-ok (backpressure monitor wait: releases mu_; deadline-bounded)
+      if (cv_.wait_until(mu_, *budget) == std::cv_status::timeout) {
+        return deadline_exceeded(strings::cat(
+            "channel ", name_, ": budget exhausted under backpressure"));
+      }
+    } else {
+      // lint: blocking-ok (backpressure monitor wait: releases mu_)
+      cv_.wait(mu_);
+    }
+  }
+  if (shutdown_) return aborted_error("grid buffer shutting down");
+  if (writer_failed_) {
+    return data_loss(
+        strings::cat("channel ", name_, ": writer died mid-stream"));
+  }
+  if (writer_closed_) {
+    return failed_precondition("writer closed while blocked");
+  }
+
   // Backpressure / spill when the table is at capacity.
   while (table_bytes_ + data.size() > config_.max_buffered_bytes &&
          !blocks_.empty() && !shutdown_) {
@@ -209,9 +253,18 @@ Status Channel::write(std::uint64_t offset, ByteSpan data) {
       if (!wait_span) {
         wait_span.emplace(obs::SpanKind::kBufferWait,
                           strings::cat("gbuf.write_wait:", name_));
+        GbMetrics::get().backpressure_waits.add();
       }
-      // lint: blocking-ok (backpressure monitor wait: releases mu_)
-      cv_.wait(mu_);
+      if (budget) {
+        // lint: blocking-ok (backpressure monitor wait: releases mu_; deadline-bounded)
+        if (cv_.wait_until(mu_, *budget) == std::cv_status::timeout) {
+          return deadline_exceeded(strings::cat(
+              "channel ", name_, ": budget exhausted under backpressure"));
+        }
+      } else {
+        // lint: blocking-ok (backpressure monitor wait: releases mu_)
+        cv_.wait(mu_);
+      }
       if (writer_closed_) {
         return failed_precondition("writer closed while blocked");
       }

@@ -35,6 +35,13 @@ struct ChannelConfig {
   /// Hash-table occupancy (bytes) above which blocks spill to the cache
   /// file (cache on) or the writer blocks (cache off).
   std::uint64_t max_buffered_bytes = 16u << 20;
+  /// Opt-in writer backpressure (DESIGN.md §14): when nonzero, a write
+  /// that would put the frontier more than this many bytes ahead of the
+  /// slowest reader blocks until readers catch up (even when the spill
+  /// cache would absorb the table overflow). 0 = unbounded. Off by
+  /// default: the bound only engages once every expected reader has
+  /// registered, and pure write-then-read workloads would deadlock.
+  std::uint64_t max_unread_bytes = 0;
 };
 
 /// Result of a read: data (possibly shorter than asked), or EOF.

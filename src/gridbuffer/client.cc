@@ -1,5 +1,6 @@
 #include "src/gridbuffer/client.h"
 
+#include "src/common/deadline.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/obs/span.h"
@@ -32,11 +33,15 @@ Result<std::unique_ptr<GridBufferWriter>> GridBufferWriter::open(
     // Hand the opener's trace context to the flusher threads so their
     // write RPCs (and any server-side backpressure stalls) parent to
     // the stage that opened this writer instead of surfacing as
-    // orphan root traces.
+    // orphan root traces. The opener's end-to-end budget rides along
+    // the same way, so flushed writes still carry its deadline.
     const obs::TraceContext trace_parent = obs::current_context();
+    const std::optional<WallClock::time_point> budget = current_deadline();
     for (int i = 0; i < threads; ++i) {
-      writer->flushers_.emplace_back([w = writer.get(), trace_parent] {
+      writer->flushers_.emplace_back([w = writer.get(), trace_parent,
+                                      budget] {
         obs::ScopedTraceContext trace_scope(trace_parent);
+        ScopedDeadline deadline_scope(budget);
         w->flusher_main();
       });
     }

@@ -1,5 +1,9 @@
 #include "src/gridbuffer/server.h"
 
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/deadline.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/obs/span.h"
@@ -28,6 +32,18 @@ Bytes relay_close_request(const multicast::RelayNode& node,
   encode_channel_config(enc, config);
   return std::move(enc).take();
 }
+
+/// Caps a blocking wait (ms; 0 = forever) to the ambient end-to-end
+/// budget so an expired request never parks past its caller's patience.
+std::uint64_t clamp_to_budget_ms(std::uint64_t deadline_ms) {
+  const std::optional<Duration> left = remaining_budget();
+  if (!left) return deadline_ms;
+  const auto left_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(*left).count();
+  const std::uint64_t budget_ms =
+      left_ms <= 0 ? 1 : static_cast<std::uint64_t>(left_ms);
+  return deadline_ms == 0 ? budget_ms : std::min(deadline_ms, budget_ms);
+}
 }  // namespace
 
 void encode_channel_config(xdr::Encoder& enc, const ChannelConfig& config) {
@@ -35,6 +51,7 @@ void encode_channel_config(xdr::Encoder& enc, const ChannelConfig& config) {
   enc.put_bool(config.cache_enabled);
   enc.put_u32(config.expected_readers);
   enc.put_u64(config.max_buffered_bytes);
+  enc.put_u64(config.max_unread_bytes);
 }
 
 Result<ChannelConfig> decode_channel_config(xdr::Decoder& dec) {
@@ -43,6 +60,7 @@ Result<ChannelConfig> decode_channel_config(xdr::Decoder& dec) {
   GL_ASSIGN_OR_RETURN(config.cache_enabled, dec.boolean());
   GL_ASSIGN_OR_RETURN(config.expected_readers, dec.u32());
   GL_ASSIGN_OR_RETURN(config.max_buffered_bytes, dec.u64());
+  GL_ASSIGN_OR_RETURN(config.max_unread_bytes, dec.u64());
   if (config.block_size == 0) {
     return invalid_argument("channel block size must be positive");
   }
@@ -169,7 +187,10 @@ void GridBufferServer::register_handlers() {
         enc.put_u64(chan->add_reader());
         return std::move(enc).take();
       });
-  rpc_.register_method(
+  // lint: no-admission (read-blocks-until-written: a reader legitimately
+  // parks here until its writer produces data; holding admission capacity
+  // for the stall would starve the very writes that unblock it)
+  rpc_.register_method_unadmitted(
       method_id(Method::kRead),
       [this](ByteSpan request, const net::RpcContext&) -> Result<Bytes> {
         xdr::Decoder dec(request);
@@ -179,13 +200,20 @@ void GridBufferServer::register_handlers() {
         GL_ASSIGN_OR_RETURN(const std::uint32_t length, dec.u32());
         GL_ASSIGN_OR_RETURN(const std::uint64_t deadline_ms, dec.u64());
         GL_ASSIGN_OR_RETURN(auto chan, store_.find(channel));
-        GL_ASSIGN_OR_RETURN(const ReadResult result,
-                            chan->read(reader_id, offset, length,
-                                       deadline_ms));
+        auto result = chan->read(reader_id, offset, length,
+                                 clamp_to_budget_ms(deadline_ms));
+        if (!result.is_ok() &&
+            result.status().code() == ErrorCode::kTimeout &&
+            deadline_expired()) {
+          return deadline_exceeded(strings::cat(
+              "channel ", channel, ": budget exhausted blocked at offset ",
+              offset));
+        }
+        GL_RETURN_IF_ERROR(result.status());
         xdr::Encoder enc;
-        enc.put_bool(result.eof);
-        enc.put_u64(result.frontier);
-        enc.put_bytes(result.data);
+        enc.put_bool(result->eof);
+        enc.put_u64(result->frontier);
+        enc.put_bytes(result->data);
         return std::move(enc).take();
       });
   rpc_.register_method(
@@ -198,7 +226,9 @@ void GridBufferServer::register_handlers() {
         chan->remove_reader(reader_id);
         return Bytes{};
       });
-  rpc_.register_method(
+  // lint: no-admission (wait_for_eof parks until the writer closes — the
+  // same read-blocks-until-written semantics as kRead)
+  rpc_.register_method_unadmitted(
       method_id(Method::kStat),
       [this](ByteSpan request, const net::RpcContext&) -> Result<Bytes> {
         xdr::Decoder dec(request);
@@ -206,11 +236,17 @@ void GridBufferServer::register_handlers() {
         GL_ASSIGN_OR_RETURN(const bool wait_for_eof, dec.boolean());
         GL_ASSIGN_OR_RETURN(const std::uint64_t deadline_ms, dec.u64());
         GL_ASSIGN_OR_RETURN(auto chan, store_.find(channel));
-        GL_ASSIGN_OR_RETURN(const ReadResult result,
-                            chan->stat(wait_for_eof, deadline_ms));
+        auto result = chan->stat(wait_for_eof, clamp_to_budget_ms(deadline_ms));
+        if (!result.is_ok() &&
+            result.status().code() == ErrorCode::kTimeout &&
+            deadline_expired()) {
+          return deadline_exceeded(strings::cat(
+              "channel ", channel, ": budget exhausted awaiting eof"));
+        }
+        GL_RETURN_IF_ERROR(result.status());
         xdr::Encoder enc;
-        enc.put_bool(result.eof);
-        enc.put_u64(result.frontier);
+        enc.put_bool(result->eof);
+        enc.put_u64(result->frontier);
         return std::move(enc).take();
       });
   rpc_.register_method(

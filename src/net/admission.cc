@@ -1,0 +1,156 @@
+#include "src/net/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/deadline.h"
+#include "src/common/strings.h"
+#include "src/fault/plan.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+
+namespace griddles::net {
+
+namespace {
+/// Process-wide overload metrics (handles cached once).
+struct AdmissionMetrics {
+  obs::Counter& shed;      // requests rejected by admission control
+  obs::Counter& admitted;  // requests that acquired capacity
+  obs::Histogram& queue_delay_s;  // admit-call to admitted wait
+
+  static AdmissionMetrics& get() {
+    auto& registry = obs::MetricsRegistry::global();
+    static AdmissionMetrics metrics{
+        registry.counter("overload.shed"),
+        registry.counter("admission.admitted"),
+        registry.histogram("admission.queue.delay_s",
+                           obs::exponential_bounds(1e-5, 10.0, 12)),
+    };
+    return metrics;
+  }
+};
+}  // namespace
+
+AdmissionController::AdmissionController(std::string site_key,
+                                         Options options)
+    : site_key_(std::move(site_key)), options_(options) {}
+
+double AdmissionController::burst_factor() const {
+  fault::Plan* plan = fault::armed();
+  if (plan == nullptr) return 1.0;
+  const fault::Decision verdict =
+      plan->consult(fault::Site::kAdmission, site_key_);
+  if (verdict.action == fault::Decision::Action::kBurst) {
+    return std::max(1.0, verdict.factor);
+  }
+  return 1.0;
+}
+
+Result<AdmissionController::Permit> AdmissionController::admit(
+    std::uint32_t cost, std::uint16_t method) {
+  if (cost == 0) return Permit(this, 0, WallClock::now());
+
+  // An armed burst rule inflates the cost this request *accounts for*,
+  // simulating factor-times the offered load deterministically.
+  const auto effective = static_cast<std::uint32_t>(
+      std::max(1.0, std::ceil(static_cast<double>(cost) * burst_factor())));
+
+  const auto shed = [&](const char* why) -> Status {
+    AdmissionMetrics::get().shed.add();
+    obs::Span span(obs::SpanKind::kShed,
+                   strings::cat("shed:", site_key_, ":", method));
+    span.add_attr("why", why);
+    return resource_exhausted(strings::cat("admission: ", site_key_,
+                                           " method ", method, " shed (",
+                                           why, ")"));
+  };
+
+  const WallClock::time_point arrived = WallClock::now();
+  const std::optional<WallClock::time_point> budget = current_deadline();
+  WallClock::time_point wait_deadline = arrived + options_.max_wait;
+  if (budget && *budget < wait_deadline) wait_deadline = *budget;
+
+  MutexLock lock(mu_);
+  if (closed_) return unavailable("admission: controller closed");
+  if (in_flight_ + effective > options_.capacity) {
+    // Reject-newest: the request at the back of the line is the one
+    // turned away, never work already queued or in flight.
+    if (queued_ + effective > options_.max_queued) {
+      lock.unlock();
+      return shed("queue full");
+    }
+    const double est_delay_s =
+        static_cast<double>(queued_ + effective) * ema_service_s_ /
+        static_cast<double>(std::max<std::uint32_t>(1, options_.capacity));
+    if (est_delay_s > to_seconds_d(options_.max_queue_delay)) {
+      lock.unlock();
+      return shed("estimated queue delay");
+    }
+    queued_ += effective;
+    // lint: blocking-ok (monitor wait: releases mu_; bounded by deadline)
+    const bool freed =
+        slot_free_.wait_until(mu_, wait_deadline, [&]() REQUIRES(mu_) {
+          return closed_ || in_flight_ + effective <= options_.capacity;
+        });
+    queued_ -= effective;
+    if (closed_) return unavailable("admission: controller closed");
+    if (!freed) {
+      lock.unlock();
+      if (budget && WallClock::now() >= *budget) {
+        return deadline_exceeded(
+            strings::cat("admission: ", site_key_,
+                         " budget exhausted while queued"));
+      }
+      return shed("queue wait timed out");
+    }
+  }
+  in_flight_ += effective;
+  lock.unlock();
+  AdmissionMetrics::get().admitted.add();
+  AdmissionMetrics::get().queue_delay_s.observe(
+      to_seconds_d(WallClock::now() - arrived));
+  return Permit(this, effective, WallClock::now());
+}
+
+void AdmissionController::Permit::release() {
+  AdmissionController* owner = owner_;
+  owner_ = nullptr;
+  if (owner != nullptr && cost_ != 0) owner->release(cost_, admitted_at_);
+  cost_ = 0;
+}
+
+void AdmissionController::release(std::uint32_t cost,
+                                  WallClock::time_point admitted_at) {
+  const double service_s = to_seconds_d(WallClock::now() - admitted_at);
+  {
+    MutexLock lock(mu_);
+    in_flight_ -= std::min(cost, in_flight_);
+    ema_service_s_ = 0.8 * ema_service_s_ + 0.2 * service_s;
+  }
+  slot_free_.notify_all();
+}
+
+void AdmissionController::close() {
+  {
+    MutexLock lock(mu_);
+    closed_ = true;
+  }
+  slot_free_.notify_all();
+}
+
+std::uint32_t AdmissionController::in_flight() const {
+  MutexLock lock(mu_);
+  return in_flight_;
+}
+
+std::uint32_t AdmissionController::queued() const {
+  MutexLock lock(mu_);
+  return queued_;
+}
+
+double AdmissionController::ema_service_seconds() const {
+  MutexLock lock(mu_);
+  return ema_service_s_;
+}
+
+}  // namespace griddles::net

@@ -1,7 +1,10 @@
 #include "src/net/rpc.h"
 
+#include <algorithm>
+#include <chrono>
 #include <optional>
 
+#include "src/common/deadline.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/fault/plan.h"
@@ -22,6 +25,7 @@ struct RpcMetrics {
   obs::Counter& server_requests;
   obs::Counter& server_bytes_in;
   obs::Counter& server_bytes_out;
+  obs::Counter& deadline_expired;  // work rejected/abandoned on expiry
 
   static RpcMetrics& get() {
     auto& registry = obs::MetricsRegistry::global();
@@ -33,6 +37,7 @@ struct RpcMetrics {
         registry.counter("rpc.server.requests"),
         registry.counter("rpc.server.bytes.in"),
         registry.counter("rpc.server.bytes.out"),
+        registry.counter("deadline.expired"),
     };
     return metrics;
   }
@@ -47,6 +52,7 @@ Bytes encode_frame(const RpcFrame& frame, WireFormat format) {
   enc.put_u16(frame.method);
   enc.put_u64(frame.trace_id);
   enc.put_u64(frame.span_id);
+  enc.put_u64(frame.deadline_us);
   xdr::encode_status(enc, frame.status);
   enc.put_bytes(frame.payload);
   return std::move(enc).take();
@@ -63,6 +69,7 @@ Result<RpcFrame> decode_frame(ByteSpan data, WireFormat format) {
   GL_ASSIGN_OR_RETURN(frame.method, dec.u16());
   GL_ASSIGN_OR_RETURN(frame.trace_id, dec.u64());
   GL_ASSIGN_OR_RETURN(frame.span_id, dec.u64());
+  GL_ASSIGN_OR_RETURN(frame.deadline_us, dec.u64());
   GL_RETURN_IF_ERROR(xdr::decode_status(dec, &frame.status));
   GL_ASSIGN_OR_RETURN(frame.payload, dec.bytes());
   return frame;
@@ -73,15 +80,41 @@ RpcServer::RpcServer(Transport& transport, Endpoint bind, WireFormat format)
 
 RpcServer::~RpcServer() { stop(); }
 
-void RpcServer::register_method(std::uint16_t method, RpcHandler handler) {
+void RpcServer::register_method(std::uint16_t method, RpcHandler handler,
+                                std::uint32_t cost) {
   MutexLock lock(mu_);
-  handlers_[method] = std::move(handler);
+  handlers_[method] = Method{std::move(handler), cost, /*admitted=*/true};
+}
+
+void RpcServer::register_method_unadmitted(std::uint16_t method,
+                                           RpcHandler handler) {
+  MutexLock lock(mu_);
+  handlers_[method] = Method{std::move(handler), 0, /*admitted=*/false};
+}
+
+void RpcServer::set_admission(AdmissionController::Options options) {
+  MutexLock lock(mu_);
+  admission_options_ = options;
+}
+
+AdmissionController* RpcServer::admission() {
+  MutexLock lock(mu_);
+  return admission_.get();
 }
 
 Status RpcServer::start() {
   MutexLock lock(mu_);
   if (started_) return failed_precondition("rpc server already started");
   GL_ASSIGN_OR_RETURN(listener_, transport_.listen(bind_));
+  // Admission is on by default: the default capacity dwarfs anything a
+  // well-behaved workload queues, so only genuine overload ever sheds.
+  // The site key is "<host>/<service>" so burst@rpc globs can single out
+  // one service class on a machine (e.g. "*/gbuf-*" hits only Grid
+  // Buffer servers, leaving the staged-file path admissible).
+  admission_ = std::make_unique<AdmissionController>(
+      bind_.service.empty() ? bind_.host
+                            : strings::cat(bind_.host, "/", bind_.service),
+      admission_options_);
   started_ = true;
   accept_thread_ = std::thread([this] { accept_loop(); });
   return Status::ok();
@@ -95,6 +128,7 @@ Endpoint RpcServer::endpoint() const {
 void RpcServer::stop() {
   std::thread accept_thread;
   std::vector<std::thread> workers;
+  AdmissionController* admission = nullptr;
   {
     MutexLock lock(mu_);
     if (!started_ || stopping_.exchange(true)) {
@@ -105,9 +139,12 @@ void RpcServer::stop() {
     for (auto& weak_conn : connections_) {
       if (auto conn = weak_conn.lock()) conn->close();
     }
+    admission = admission_.get();
     accept_thread = std::move(accept_thread_);
     workers = std::move(workers_);
   }
+  // Unblock workers parked in the admission queue before joining them.
+  if (admission != nullptr) admission->close();
   if (accept_thread.joinable()) accept_thread.join();
   for (std::thread& worker : workers) {
     if (worker.joinable()) worker.join();
@@ -116,6 +153,7 @@ void RpcServer::stop() {
   started_ = false;
   stopping_ = false;
   listener_.reset();
+  admission_.reset();  // a restarted server gets a fresh controller
   connections_.clear();
 }
 
@@ -185,13 +223,15 @@ void RpcServer::serve_connection(std::shared_ptr<Connection> conn) {
     reply.id = frame->id;
     reply.method = frame->method;
 
-    RpcHandler* handler = nullptr;
+    const Method* entry = nullptr;
+    AdmissionController* admission = nullptr;
     {
       MutexLock lock(mu_);
       const auto it = handlers_.find(frame->method);
-      if (it != handlers_.end()) handler = &it->second;
+      if (it != handlers_.end()) entry = &it->second;
+      admission = admission_.get();
     }
-    if (handler == nullptr) {
+    if (entry == nullptr) {
       reply.status = unimplemented(
           strings::cat("no handler for method ", frame->method));
     } else {
@@ -207,12 +247,53 @@ void RpcServer::serve_connection(std::shared_ptr<Connection> conn) {
                          strings::cat("rpc:", frame->method));
         rpc_span->add_attr("peer", context.peer);
       }
-      auto result = (*handler)(frame->payload, context);
-      if (result.is_ok()) {
-        reply.payload = std::move(*result);
+      // Re-anchor the caller's remaining budget on this server's clock.
+      // Admission queueing and handler service both burn it, and nested
+      // hops the handler makes forward whatever is left.
+      std::optional<WallClock::time_point> hop_deadline;
+      if (frame->deadline_us != 0) {
+        hop_deadline = WallClock::now() +
+                       std::chrono::microseconds(frame->deadline_us);
+      }
+      ScopedDeadline deadline_scope(hop_deadline);
+
+      Status gate = Status::ok();
+      AdmissionController::Permit permit;
+      if (deadline_expired()) {
+        gate = deadline_exceeded(strings::cat(
+            "rpc ", frame->method, ": budget exhausted on arrival"));
+      } else if (entry->admitted && admission != nullptr) {
+        auto admitted = admission->admit(entry->cost, frame->method);
+        if (admitted.is_ok()) {
+          permit = std::move(*admitted);
+          if (deadline_expired()) {
+            gate = deadline_exceeded(strings::cat(
+                "rpc ", frame->method, ": budget exhausted while queued"));
+          }
+        } else {
+          gate = admitted.status();
+        }
+      }
+      if (!gate.is_ok()) {
+        // Expired or shed work is rejected *before* the handler runs —
+        // executing it anyway would spend capacity on a reply nobody is
+        // waiting for.
+        if (gate.code() == ErrorCode::kDeadlineExceeded) {
+          RpcMetrics::get().deadline_expired.add();
+          obs::Span expired(obs::SpanKind::kDeadlineExpired,
+                            strings::cat("rpc.expired:", frame->method));
+          expired.add_attr("peer", context.peer);
+        }
+        reply.status = gate;
+        if (rpc_span) rpc_span->add_attr("error", gate.message());
       } else {
-        reply.status = result.status();
-        if (rpc_span) rpc_span->add_attr("error", result.status().message());
+        auto result = (entry->handler)(frame->payload, context);
+        if (result.is_ok()) {
+          reply.payload = std::move(*result);
+        } else {
+          reply.status = result.status();
+          if (rpc_span) rpc_span->add_attr("error", result.status().message());
+        }
       }
     }
     const Bytes encoded = encode_frame(reply, format_);
@@ -264,6 +345,11 @@ Result<Bytes> RpcClient::call_until(std::uint16_t method, ByteSpan request,
 
 Result<Bytes> RpcClient::call_impl(std::uint16_t method, ByteSpan request,
                                    const WallClock::time_point* deadline) {
+  // Every fresh call earns its peer retry-budget tokens (taken before
+  // the client lock: the budget has its own).
+  const std::uint64_t key_hash = fnv1a(as_bytes_view(fault_key_));
+  fault::RetryBudget::global().note_fresh(key_hash);
+
   MutexLock lock(mu_);
   if (fault::armed() == nullptr) return call_once(method, request, deadline);
 
@@ -272,7 +358,6 @@ Result<Bytes> RpcClient::call_impl(std::uint16_t method, ByteSpan request,
   // backoff. Injected drops fail *before* any bytes leave the client, so
   // a retried request is never a duplicate on the server.
   const fault::RetryPolicy policy;
-  const std::uint64_t key_hash = fnv1a(as_bytes_view(fault_key_));
   // Each retry becomes a child span covering its backoff plus the
   // re-attempt: emplace() records the previous attempt's span and opens
   // the next, so injected chaos shows up on the exported timeline.
@@ -305,6 +390,9 @@ Result<Bytes> RpcClient::call_impl(std::uint16_t method, ByteSpan request,
         code == ErrorCode::kTimeout || attempt >= policy.max_attempts) {
       return result;
     }
+    // A dry per-peer token bucket turns the retry away — the original
+    // error surfaces instead of joining a retry storm.
+    if (!fault::RetryBudget::global().acquire(key_hash)) return result;
     fault::note_retry_attempt();
     retry_span.emplace(obs::SpanKind::kRetry,
                        strings::cat("rpc.retry:", fault_key_));
@@ -319,6 +407,17 @@ Result<Bytes> RpcClient::call_impl(std::uint16_t method, ByteSpan request,
 Result<Bytes> RpcClient::call_once(std::uint16_t method, ByteSpan request,
                                    const WallClock::time_point* deadline) {
   for (int attempt = 0; attempt < 2; ++attempt) {
+    // Fail fast while the ambient budget is already spent: sending would
+    // only make the server reject the work after a wasted round trip.
+    const std::optional<Duration> budget = remaining_budget();
+    if (budget && *budget <= Duration::zero()) {
+      RpcMetrics::get().deadline_expired.add();
+      obs::Span expired(obs::SpanKind::kDeadlineExpired,
+                        strings::cat("rpc.expired:", method));
+      expired.add_attr("where", "client.pre-send");
+      return deadline_exceeded(
+          strings::cat("rpc ", method, ": budget exhausted before send"));
+    }
     GL_RETURN_IF_ERROR(ensure_connected());
 
     RpcFrame frame;
@@ -330,6 +429,14 @@ Result<Bytes> RpcClient::call_once(std::uint16_t method, ByteSpan request,
     const obs::TraceContext trace = obs::current_context();
     frame.trace_id = trace.trace_id;
     frame.span_id = trace.span_id;
+    if (budget) {
+      // The remaining end-to-end budget travels as microseconds and is
+      // re-anchored on the server's clock. Clamped to >= 1 so "almost
+      // out" never reads as "no deadline" on the wire.
+      frame.deadline_us = static_cast<std::uint64_t>(std::max<std::int64_t>(
+          1, std::chrono::duration_cast<std::chrono::microseconds>(*budget)
+                 .count()));
+    }
     frame.payload.assign(request.begin(), request.end());
 
     const Bytes encoded = encode_frame(frame, format_);
@@ -341,11 +448,29 @@ Result<Bytes> RpcClient::call_once(std::uint16_t method, ByteSpan request,
       return sent;
     }
 
-    auto message =
-        deadline != nullptr ? conn_->recv_until(*deadline) : conn_->recv();
+    // The reply wait honours whichever bound is tighter: the explicit
+    // call_until deadline or the ambient end-to-end budget.
+    const std::optional<WallClock::time_point> ambient = current_deadline();
+    const WallClock::time_point* recv_deadline = deadline;
+    if (ambient && (recv_deadline == nullptr || *ambient < *recv_deadline)) {
+      recv_deadline = &*ambient;
+    }
+    auto message = recv_deadline != nullptr ? conn_->recv_until(*recv_deadline)
+                                            : conn_->recv();
     if (!message.is_ok()) {
       const ErrorCode code = message.status().code();
-      if (code == ErrorCode::kTimeout) return message.status();
+      if (code == ErrorCode::kTimeout) {
+        if (ambient && recv_deadline == &*ambient) {
+          // The budget, not an explicit timeout, cut the wait short.
+          RpcMetrics::get().deadline_expired.add();
+          obs::Span expired(obs::SpanKind::kDeadlineExpired,
+                            strings::cat("rpc.expired:", method));
+          expired.add_attr("where", "client.await-reply");
+          return deadline_exceeded(strings::cat(
+              "rpc ", method, ": budget exhausted awaiting reply"));
+        }
+        return message.status();
+      }
       conn_.reset();
       if (attempt == 0 && code == ErrorCode::kClosed) continue;
       return message.status();

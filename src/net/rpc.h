@@ -18,6 +18,7 @@
 #include "src/common/bytes.h"
 #include "src/common/status.h"
 #include "src/common/thread_annotations.h"
+#include "src/net/admission.h"
 #include "src/net/soap.h"
 #include "src/net/transport.h"
 
@@ -44,8 +45,25 @@ class RpcServer {
   RpcServer(const RpcServer&) = delete;
   RpcServer& operator=(const RpcServer&) = delete;
 
-  /// Registers a handler; must happen before start().
-  void register_method(std::uint16_t method, RpcHandler handler);
+  /// Registers a handler; must happen before start(). Admitted: the
+  /// request acquires `cost` units from the admission controller (and
+  /// may be shed with kResourceExhausted under overload) before the
+  /// handler runs.
+  void register_method(std::uint16_t method, RpcHandler handler,
+                       std::uint32_t cost = 1);
+
+  /// Registers a handler that bypasses admission control. Reserved for
+  /// handlers that block server-side for application reasons (Grid
+  /// Buffer read-blocks-until-written) and would starve the admission
+  /// queue if they held capacity; tools/lint.py flags every call site
+  /// without a `// lint: no-admission (<why>)` excuse.
+  void register_method_unadmitted(std::uint16_t method, RpcHandler handler);
+
+  /// Replaces the default admission configuration; before start().
+  void set_admission(AdmissionController::Options options);
+
+  /// The server's admission controller (introspection for tests).
+  AdmissionController* admission();
 
   /// Binds and spawns the accept loop.
   Status start();
@@ -60,6 +78,12 @@ class RpcServer {
   std::size_t live_connections() const;
 
  private:
+  struct Method {
+    RpcHandler handler;
+    std::uint32_t cost = 1;
+    bool admitted = true;
+  };
+
   void accept_loop();
   void serve_connection(std::shared_ptr<Connection> conn);
 
@@ -68,7 +92,9 @@ class RpcServer {
   WireFormat format_;
 
   mutable Mutex mu_;
-  std::map<std::uint16_t, RpcHandler> handlers_ GUARDED_BY(mu_);
+  std::map<std::uint16_t, Method> handlers_ GUARDED_BY(mu_);
+  AdmissionController::Options admission_options_ GUARDED_BY(mu_);
+  std::unique_ptr<AdmissionController> admission_ GUARDED_BY(mu_);
   std::unique_ptr<Listener> listener_ GUARDED_BY(mu_);
   std::thread accept_thread_ GUARDED_BY(mu_);
   std::vector<std::thread> workers_ GUARDED_BY(mu_);

@@ -154,6 +154,9 @@ Bytes soap_encode(const RpcFrame& frame) {
       "<gl:span>",
       frame.span_id,
       "</gl:span>"
+      "<gl:deadline>",
+      frame.deadline_us,
+      "</gl:deadline>"
       "<gl:status>",
       static_cast<std::uint32_t>(frame.status.code()),
       "</gl:status>"
@@ -194,7 +197,8 @@ Result<RpcFrame> soap_decode(ByteSpan data) {
   const auto method_v = strings::parse_int(*method);
   const auto code_v = strings::parse_int(*status_code);
   if (!id_v || !method_v || !code_v || *method_v < 0 || *method_v > 0xFFFF ||
-      *code_v < 0 || *code_v > static_cast<int>(ErrorCode::kInternal)) {
+      *code_v < 0 ||
+      *code_v > static_cast<int>(ErrorCode::kDeadlineExceeded)) {
     return invalid_argument("soap frame: malformed numeric header");
   }
   frame.id = static_cast<std::uint64_t>(*id_v);
@@ -209,6 +213,14 @@ Result<RpcFrame> soap_decode(ByteSpan data) {
   if (const auto span = extract_tag(xml, "gl:span")) {
     if (const auto span_v = strings::parse_int(*span); span_v && *span_v >= 0) {
       frame.span_id = static_cast<std::uint64_t>(*span_v);
+    }
+  }
+  // Deadline budget is optional like the trace tags: pre-deadline
+  // envelopes decode as "no deadline".
+  if (const auto budget = extract_tag(xml, "gl:deadline")) {
+    if (const auto budget_v = strings::parse_int(*budget);
+        budget_v && *budget_v >= 0) {
+      frame.deadline_us = static_cast<std::uint64_t>(*budget_v);
     }
   }
   if (*code_v != 0) {

@@ -30,6 +30,10 @@ struct RpcFrame {
   // the remote caller across the hop.
   std::uint64_t trace_id = 0;
   std::uint64_t span_id = 0;
+  // Remaining end-to-end budget in microseconds at send time (0 = no
+  // deadline). The server re-anchors it against its own clock, so each
+  // hop's queueing and service time shrinks the budget for the next.
+  std::uint64_t deadline_us = 0;
   Status status;  // meaningful on responses only
   Bytes payload;
 };

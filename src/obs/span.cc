@@ -88,6 +88,10 @@ std::string_view span_kind_name(SpanKind kind) noexcept {
       return "recovery";
     case SpanKind::kRelay:
       return "relay";
+    case SpanKind::kShed:
+      return "shed";
+    case SpanKind::kDeadlineExpired:
+      return "deadline_expired";
     case SpanKind::kConflict:
       return "conflict";
     case SpanKind::kOther:

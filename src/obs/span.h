@@ -62,6 +62,8 @@ enum class SpanKind : std::uint8_t {
   kRecovery,    // a failed stage re-run via the fallback coupling
   kRelay,       // one multicast relay hop (write + forward to children)
   kConflict,    // one divergent GNS write pair joined deterministically
+  kShed,        // a request rejected by admission control (overload)
+  kDeadlineExpired,  // work abandoned because its budget ran out
   kOther,
 };
 

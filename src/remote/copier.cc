@@ -16,6 +16,7 @@
 #include <set>
 
 #include "src/common/bytes.h"
+#include "src/common/deadline.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/fault/plan.h"
@@ -133,7 +134,10 @@ Bytes relay_chunk_request(const multicast::RelayNode& node,
 }
 
 /// A chunk failure worth re-requesting at the same offset: transient
-/// transport trouble, or a verifiably short/mangled delivery.
+/// transport trouble, or a verifiably short/mangled delivery. Inherits
+/// RetryPolicy's deliberate exclusions — kResourceExhausted (a shed
+/// response; retrying feeds the overload) and kDeadlineExceeded (the
+/// budget is gone) both surface to the stage level instead.
 bool chunk_retryable(ErrorCode code) {
   return fault::RetryPolicy::retryable(code) ||
          code == ErrorCode::kDataLoss;
@@ -211,6 +215,8 @@ Result<CopyStats> FileCopier::fetch(const net::Endpoint& server,
     if (!chunk_retryable(status.code()) || attempt >= policy.max_attempts) {
       return status;
     }
+    GL_RETURN_IF_ERROR(check_deadline("copy.fetch retry"));
+    if (!fault::RetryBudget::global().acquire(jitter_key)) return status;
     fault::note_retry_attempt();
     retry_span.emplace(obs::SpanKind::kRetry,
                        strings::cat("copy.retry:", remote_path));
@@ -265,11 +271,14 @@ Status FileCopier::fetch_attempt(const net::Endpoint& server,
   const fault::RetryPolicy policy;
   const std::uint64_t jitter_key = fnv1a(as_bytes_view(remote_path));
   // Stream workers inherit the copy span so their chunk spans (and the
-  // RPC hops under them) land on this transfer's subtree.
+  // RPC hops under them) land on this transfer's subtree; the ambient
+  // end-to-end budget rides along so chunk RPCs keep the deadline.
   const obs::TraceContext trace_parent = obs::current_context();
+  const std::optional<WallClock::time_point> budget = current_deadline();
   for (int s = 0; s < streams; ++s) {
-    workers.emplace_back([&, s, trace_parent] {
+    workers.emplace_back([&, s, trace_parent, budget] {
       obs::ScopedTraceContext trace_scope(trace_parent);
+      ScopedDeadline deadline_scope(budget);
       net::RpcClient rpc(transport_, server);
       const auto fetch_chunk = [&](std::uint64_t offset,
                                    std::uint32_t length) -> Status {
@@ -311,11 +320,14 @@ Status FileCopier::fetch_attempt(const net::Endpoint& server,
         obs::Span chunk_span(obs::SpanKind::kChunk,
                              strings::cat("chunk.fetch:", remote_path));
         chunk_span.add_attr("offset", strings::cat(offset));
-        // Offset-resumable: a bad chunk is simply re-requested.
+        fault::RetryBudget::global().note_fresh(jitter_key);
+        // Offset-resumable: a bad chunk is simply re-requested (while
+        // the budget holds out and the peer's retry tokens last).
         Status status = fetch_chunk(offset, length);
         for (int attempt = 1;
              !status.is_ok() && chunk_retryable(status.code()) &&
-             attempt < policy.max_attempts;
+             !deadline_expired() && attempt < policy.max_attempts &&
+             fault::RetryBudget::global().acquire(jitter_key);
              ++attempt) {
           fault::note_retry_attempt();
           fault::sleep_for_model(policy.backoff(attempt, jitter_key + index));
@@ -371,6 +383,8 @@ Status FileCopier::push_with_retries(const std::string& local_path,
     if (!chunk_retryable(status.code()) || attempt >= policy.max_attempts) {
       return status;
     }
+    GL_RETURN_IF_ERROR(check_deadline("copy.push retry"));
+    if (!fault::RetryBudget::global().acquire(jitter_key)) return status;
     fault::note_retry_attempt();
     retry_span.emplace(obs::SpanKind::kRetry,
                        strings::cat("copy.retry:", remote_path));
@@ -520,9 +534,11 @@ Result<MultiCopyStats> FileCopier::copy_to_many(
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(streams));
   const obs::TraceContext trace_parent = obs::current_context();
+  const std::optional<WallClock::time_point> budget = current_deadline();
   for (int s = 0; s < streams; ++s) {
-    workers.emplace_back([&, s, trace_parent] {
+    workers.emplace_back([&, s, trace_parent, budget] {
       obs::ScopedTraceContext trace_scope(trace_parent);
+      ScopedDeadline deadline_scope(budget);
       // One forwarder — one connection per tree edge — per stream keeps
       // the streams parallel, as with push()'s per-stream RpcClient.
       multicast::RelayForwarder forwarder(transport_);
@@ -657,9 +673,11 @@ Status FileCopier::push_attempt(const std::string& local_path,
   const fault::RetryPolicy policy;
   const std::uint64_t jitter_key = fnv1a(as_bytes_view(remote_path));
   const obs::TraceContext trace_parent = obs::current_context();
+  const std::optional<WallClock::time_point> budget = current_deadline();
   for (int s = 0; s < streams; ++s) {
-    workers.emplace_back([&, s, trace_parent] {
+    workers.emplace_back([&, s, trace_parent, budget] {
       obs::ScopedTraceContext trace_scope(trace_parent);
+      ScopedDeadline deadline_scope(budget);
       net::RpcClient rpc(transport_, server);
       Bytes buffer(chunk);
       const auto push_chunk = [&](std::uint64_t offset,
@@ -705,10 +723,12 @@ Status FileCopier::push_attempt(const std::string& local_path,
         obs::Span chunk_span(obs::SpanKind::kChunk,
                              strings::cat("chunk.push:", remote_path));
         chunk_span.add_attr("offset", strings::cat(offset));
+        fault::RetryBudget::global().note_fresh(jitter_key);
         Status status = push_chunk(offset, length);
         for (int attempt = 1;
              !status.is_ok() && chunk_retryable(status.code()) &&
-             attempt < policy.max_attempts;
+             !deadline_expired() && attempt < policy.max_attempts &&
+             fault::RetryBudget::global().acquire(jitter_key);
              ++attempt) {
           fault::note_retry_attempt();
           fault::sleep_for_model(policy.backoff(attempt, jitter_key + index));

@@ -6,6 +6,7 @@
 #include <set>
 #include <thread>
 
+#include "src/common/deadline.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/core/tailing_client.h"
@@ -25,12 +26,16 @@ std::string canonical_in(const std::string& dir, const std::string& path) {
   return (std::filesystem::path(dir) / path).lexically_normal().string();
 }
 
-/// Failures worth a stage re-run: transient infrastructure trouble or a
+/// Failures worth a stage re-run: transient infrastructure trouble, a
 /// verifiably incomplete stream (a Grid Buffer writer death surfaces as
-/// kDataLoss once the reader has drained the cache file).
+/// kDataLoss once the reader has drained the cache file), or a shed
+/// request (kResourceExhausted) — by the time the stage re-runs in
+/// staged-file mode the burst has passed. Deliberately NOT retried
+/// inline at the RPC layer: the stage re-run is the storm-safe path.
 bool recoverable(ErrorCode code) {
   return code == ErrorCode::kUnavailable || code == ErrorCode::kTimeout ||
-         code == ErrorCode::kDataLoss;
+         code == ErrorCode::kDataLoss ||
+         code == ErrorCode::kResourceExhausted;
 }
 
 obs::Counter& stage_reruns_counter() {
@@ -191,6 +196,15 @@ Result<WorkflowReport> WorkflowRunner::run(const WorkflowSpec& spec,
                           strings::cat("workflow:", spec.name));
   workflow_span.add_attr("mode", coupling_mode_name(options.mode));
   workflow_span.add_attr("tasks", strings::cat(spec.tasks.size()));
+
+  // The run's end-to-end budget: model seconds anchored to the wall
+  // clock here, then carried across every RPC hop below this frame.
+  std::optional<WallClock::time_point> run_deadline;
+  if (options.deadline_s > 0) {
+    run_deadline = testbed_.clock().wall_deadline(
+        from_seconds_d(options.deadline_s));
+  }
+  ScopedDeadline deadline_scope(run_deadline);
 
   for (const TaskSpec& task : spec.tasks) {
     if (!ctx.dirs.contains(task.machine)) {
@@ -353,12 +367,15 @@ Result<WorkflowReport> WorkflowRunner::run(const WorkflowSpec& spec,
     std::vector<Result<TaskResult>> results(
         spec.tasks.size(), Result<TaskResult>(internal_error("not run")));
     threads.reserve(spec.tasks.size());
-    // Trace context is thread-local: capture the workflow span here and
-    // install it in each stage thread so stage spans parent correctly.
+    // Trace context and the run budget are thread-local: capture both
+    // here and install them in each stage thread so stage spans parent
+    // correctly and stage IO keeps the workflow deadline.
     const obs::TraceContext trace_parent = obs::current_context();
+    const std::optional<WallClock::time_point> budget = current_deadline();
     for (std::size_t index = 0; index < spec.tasks.size(); ++index) {
-      threads.emplace_back([&, index] {
+      threads.emplace_back([&, index, budget] {
         obs::ScopedTraceContext trace_scope(trace_parent);
+        ScopedDeadline stage_deadline(budget);
         results[index] = run_task(spec, index, options, ctx);
         // Publish completion markers so tailing readers can see EOF.
         if (options.mode == CouplingMode::kConcurrentFiles &&

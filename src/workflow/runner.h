@@ -96,6 +96,11 @@ class WorkflowRunner {
     int multicast_fanout = 4;
     /// Fail a stuck run after this much wall time per buffer read.
     std::uint64_t read_deadline_ms = 120000;
+    /// End-to-end deadline for the whole run, in *model* seconds
+    /// (0 = none). Installed as the ambient budget (src/common/deadline.h)
+    /// for every stage, copy, and nested RPC hop: expired work is
+    /// rejected with kDeadlineExceeded instead of executing late.
+    double deadline_s = 0;
     /// GNS replication factor: this many multi-master replica nodes
     /// (each owning its own store copy, converged by anti-entropy)
     /// behind a ReplicatedNameService per task, so a replica loss

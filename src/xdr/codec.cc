@@ -136,7 +136,7 @@ Status decode_status(Decoder& dec, Status* out) {
     *out = Status::ok();
     return Status::ok();
   }
-  if (code > static_cast<std::uint32_t>(ErrorCode::kDataLoss)) {
+  if (code > static_cast<std::uint32_t>(ErrorCode::kDeadlineExceeded)) {
     return invalid_argument("unknown status code on the wire");
   }
   *out = Status(static_cast<ErrorCode>(code), std::move(message));

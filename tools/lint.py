@@ -94,6 +94,8 @@ INTEGRAL_ATOMIC = re.compile(
     r"(?:u?int(?:8|16|32|64)?_t|size_t|ptrdiff_t|int|unsigned|long|short)"
 )
 NOT_A_METRIC = re.compile(r"//\s*lint:\s*not-a-metric\b")
+UNADMITTED_CALL = re.compile(r"\bregister_method_unadmitted\s*\(")
+NO_ADMISSION = re.compile(r"//\s*lint:\s*no-admission\b")
 NAKED_SPAN = re.compile(r"\bSpanRecord\b")
 SPAN_RAII_OK = re.compile(r"//\s*lint:\s*span-raii\b")
 ALLOW_DISCARD = re.compile(r"//\s*lint:allow-discarded-status")
@@ -208,6 +210,36 @@ def check_raw_atomic_counters(path: str, lines: list[str]) -> list[Finding]:
                 "integral std::atomic outside src/obs/: use obs::Counter/"
                 "obs::Gauge from the metrics registry, or justify with "
                 "'// lint: not-a-metric (<why>)'"))
+    return out
+
+
+def check_admission_bypass(path: str, lines: list[str]) -> list[Finding]:
+    """Flags handlers registered outside admission control.
+
+    register_method_unadmitted() skips the overload shedding queue
+    entirely (DESIGN.md §14); that is only sound for handlers that park
+    server-side (Grid Buffer read-blocks-until-written) and must not hold
+    capacity while stalled. Every call site has to say why, with
+    '// lint: no-admission (<why>)' on the call line or within the three
+    lines above it (the excuse prose usually wraps).
+    """
+    if path in ("src/net/rpc.h", "src/net/rpc.cc"):
+        return []  # the declaring API itself
+    out = []
+    for i, line in enumerate(lines, 1):
+        code = strip_comments_and_strings(line)
+        if not UNADMITTED_CALL.search(code):
+            continue
+        excused = NO_ADMISSION.search(line) or any(
+            i - back >= 1 and NO_ADMISSION.search(lines[i - 1 - back])
+            for back in (1, 2, 3))
+        if not excused:
+            out.append(Finding(
+                "admission-bypass", path, i,
+                "register_method_unadmitted() bypasses admission control: "
+                "use register_method() unless the handler blocks "
+                "server-side, and justify with "
+                "'// lint: no-admission (<why>)'"))
     return out
 
 
@@ -383,6 +415,7 @@ def run_checks(files: dict[str, list[str]],
             findings.extend(check_mutex_annotations(path, lines))
             findings.extend(check_naked_locks(path, lines))
             findings.extend(check_raw_atomic_counters(path, lines))
+            findings.extend(check_admission_bypass(path, lines))
             findings.extend(check_naked_spans(path, lines))
             findings.extend(check_discarded_status(path, lines, status_fns,
                                                    class_status))
@@ -425,6 +458,10 @@ def self_test() -> int:
             "void g() {",
             "  Conn conn;",
             "  conn.close();",
+            "}"],
+        "src/selftest/unadmitted.cc": [
+            "void wire(RpcServer& rpc) {",
+            "  rpc.register_method_unadmitted(kRead, handler);",
             "}"],
     }
     good = {
@@ -477,11 +514,21 @@ def self_test() -> int:
             "  Duplex d;",
             "  d.close();",
             "}"],
+        "src/selftest_admit/ok.cc": [
+            "void wire(RpcServer& rpc) {",
+            "  rpc.register_method_unadmitted(  // lint: no-admission (blocks)",
+            "      kRead, handler);",
+            "  // lint: no-admission (read parks until the writer",
+            "  // produces data; holding capacity would starve the",
+            "  // writes that unblock it)",
+            "  rpc.register_method_unadmitted(kStat, handler);",
+            "}"],
     }
     findings = run_checks({**bad, **good}, with_format=False)
     fired = {f.check for f in findings}
     expected = {"raw-primitive", "mutex-annotation", "naked-lock",
-                "discarded-status", "raw-atomic-counter", "naked-span"}
+                "discarded-status", "raw-atomic-counter", "naked-span",
+                "admission-bypass"}
     ok = True
     for check in sorted(expected):
         if check not in fired:

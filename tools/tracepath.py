@@ -58,6 +58,8 @@ KIND_BUCKET = {
     "retry": "retry",
     "failover": "retry",
     "recovery": "retry",
+    "shed": "retry",
+    "deadline_expired": "retry",
 }
 
 BUCKETS = ("compute", "buffer-wait", "network", "retry")
